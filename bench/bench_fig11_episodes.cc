@@ -1,0 +1,55 @@
+// Figure 11: long-term averaging vs simultaneous measurement.  UW4-B is the
+// long-term time-average CDF; UW4-A yields a pair-averaged CDF (per-episode
+// best alternates averaged per pair) and an unaveraged CDF (one point per
+// pair per episode).
+#include "bench_util.h"
+
+#include "core/alternate.h"
+#include "core/episodes.h"
+#include "core/figures.h"
+
+namespace pathsel {
+namespace {
+
+void run() {
+  bench::print_experiment_header(
+      "Figure 11", "UW4-B vs pair-averaged UW4-A vs unaveraged UW4-A (RTT, ms)",
+      "good alternates are slightly MORE likely on a fine-grained timescale; "
+      "the unaveraged curve has much broader tails in both directions");
+  auto catalog = bench::make_catalog();
+
+  core::BuildOptions opt;
+  opt.min_samples = bench::scaled_min_samples();
+  const auto uw4b_table = core::PathTable::build(catalog.uw4b(), opt);
+  const auto uw4b_results = core::analyze_alternate_paths(uw4b_table, {});
+  const auto uw4b_cdf = core::improvement_cdf(uw4b_results);
+
+  const auto episodes = core::analyze_episodes(catalog.uw4a(), {});
+
+  print_series(std::cout, "Figure 11: averaging-timescale comparison",
+               {bench::cdf_series(uw4b_cdf, "UW4-B"),
+                bench::cdf_series(episodes.pair_averaged, "pair-averaged UW4-A"),
+                bench::cdf_series(episodes.unaveraged, "unaveraged UW4-A")});
+
+  Table summary{"Figure 11 summary"};
+  summary.set_header({"curve", "points", "% better", "p5 (ms)", "p95 (ms)"});
+  auto row = [&summary](const char* label, const stats::EmpiricalCdf& cdf) {
+    summary.add_row({label, std::to_string(cdf.size()),
+                     Table::pct(cdf.fraction_above(0.0)),
+                     Table::fmt(cdf.value_at_fraction(0.05), 1),
+                     Table::fmt(cdf.value_at_fraction(0.95), 1)});
+  };
+  row("UW4-B (time-averaged)", uw4b_cdf);
+  row("pair-averaged UW4-A", episodes.pair_averaged);
+  row("unaveraged UW4-A", episodes.unaveraged);
+  summary.print(std::cout);
+  std::printf("episodes analyzed: %zu\n", episodes.episodes_analyzed);
+}
+
+}  // namespace
+}  // namespace pathsel
+
+int main() {
+  pathsel::run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared plumbing for the figure/table benches.
+//
+// Every bench regenerates one table or figure of the paper from a freshly
+// collected (simulated) dataset and prints: a header naming the experiment
+// and the paper's expectation, the plotted series as CSV (decimated to keep
+// output reviewable), and a one-line measured summary.  EXPERIMENTS.md
+// records paper-vs-measured for each bench.
+//
+// PATHSEL_BENCH_SCALE (0 < s <= 1) shrinks trace durations for quick runs;
+// the default 1.0 regenerates full-size datasets.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <string>
+
+#include "meas/catalog.h"
+#include "stats/cdf.h"
+#include "util/table.h"
+
+namespace pathsel::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("PATHSEL_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+/// The paper's 30-measurement threshold, scaled with the trace length so
+/// reduced-scale runs keep a usable edge set.
+inline int scaled_min_samples(int full_scale_threshold = 30) {
+  const int scaled =
+      static_cast<int>(full_scale_threshold * bench_scale() + 0.5);
+  return scaled < 3 ? 3 : scaled;
+}
+
+inline meas::Catalog make_catalog() {
+  meas::CatalogConfig cfg;
+  cfg.seed = 1999;
+  cfg.scale = bench_scale();
+  return meas::Catalog{cfg};
+}
+
+inline void print_experiment_header(const char* id, const char* description,
+                                    const char* paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, description);
+  std::printf("paper: %s\n", paper_expectation);
+  std::printf("scale: %.2f\n", bench_scale());
+  std::printf("==============================================================\n");
+}
+
+/// Thins a series to at most `max_points` evenly spaced points.
+inline Series decimate(const Series& s, std::size_t max_points = 48) {
+  if (s.x.size() <= max_points) return s;
+  Series out;
+  out.name = s.name;
+  const double step =
+      static_cast<double>(s.x.size() - 1) / static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(static_cast<double>(i) * step);
+    out.x.push_back(s.x[idx]);
+    out.y.push_back(s.y[idx]);
+  }
+  return out;
+}
+
+inline Series cdf_series(const stats::EmpiricalCdf& cdf, std::string name,
+                         double trim_lo = 0.02, double trim_hi = 0.98) {
+  return decimate(cdf.to_series(std::move(name), trim_lo, trim_hi));
+}
+
+}  // namespace pathsel::bench

@@ -1,0 +1,222 @@
+#include "core/alternate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMaxLoss = 0.999;  // keeps -log(1-p) finite
+
+// Additive shortest-path weight for an edge under a metric.
+double edge_weight(const PathEdge& e, Metric metric) {
+  switch (metric) {
+    case Metric::kRtt:
+      return e.rtt.mean();
+    case Metric::kLoss:
+      return -std::log(1.0 - std::min(e.loss.mean(), kMaxLoss));
+    case Metric::kPropagation:
+      return e.propagation_ms();
+  }
+  return 0.0;
+}
+
+struct Adjacency {
+  std::vector<std::vector<std::pair<std::size_t, const PathEdge*>>> out;
+};
+
+Adjacency build_adjacency(const PathTable& table) {
+  Adjacency adj;
+  adj.out.resize(table.hosts().size());
+  for (const PathEdge& e : table.edges()) {
+    const std::size_t ia = table.host_index(e.a);
+    const std::size_t ib = table.host_index(e.b);
+    adj.out[ia].emplace_back(ib, &e);
+    adj.out[ib].emplace_back(ia, &e);
+  }
+  return adj;
+}
+
+}  // namespace
+
+double edge_metric_value(const PathEdge& edge, Metric metric) {
+  switch (metric) {
+    case Metric::kRtt:
+      return edge.rtt.mean();
+    case Metric::kLoss:
+      return edge.loss.mean();
+    case Metric::kPropagation:
+      return edge.propagation_ms();
+  }
+  return 0.0;
+}
+
+double compose_metric(std::span<const PathEdge* const> edges, Metric metric) {
+  PATHSEL_EXPECT(!edges.empty(), "compose_metric of empty path");
+  if (metric == Metric::kLoss) {
+    double survive = 1.0;
+    for (const PathEdge* e : edges) {
+      survive *= 1.0 - std::min(e->loss.mean(), kMaxLoss);
+    }
+    return 1.0 - survive;
+  }
+  double total = 0.0;
+  for (const PathEdge* e : edges) total += edge_metric_value(*e, metric);
+  return total;
+}
+
+stats::MeanEstimate compose_estimate(std::span<const PathEdge* const> edges,
+                                     Metric metric) {
+  PATHSEL_EXPECT(!edges.empty(), "compose_estimate of empty path");
+  if (metric == Metric::kLoss) {
+    // Delta method for f(p_1..p_k) = 1 - prod(1 - p_i):
+    // df/dp_i = prod_{j != i}(1 - p_j) = survive / (1 - p_i).
+    double survive = 1.0;
+    for (const PathEdge* e : edges) {
+      survive *= 1.0 - std::min(e->loss.mean(), kMaxLoss);
+    }
+    stats::MeanEstimate out{};
+    for (const PathEdge* e : edges) {
+      const double pi = std::min(e->loss.mean(), kMaxLoss);
+      const double deriv = survive / (1.0 - pi);
+      out = out + stats::MeanEstimate::from_summary(e->loss).scaled(deriv);
+    }
+    out.mean = 1.0 - survive;
+    return out;
+  }
+  if (metric == Metric::kRtt) {
+    stats::MeanEstimate out{};
+    for (const PathEdge* e : edges) {
+      out = out + stats::MeanEstimate::from_summary(e->rtt);
+    }
+    return out;
+  }
+  // Propagation delay has no per-sample uncertainty model in the paper.
+  return stats::MeanEstimate{};
+}
+
+namespace {
+
+struct SearchScratch {
+  std::vector<double> dist;
+  std::vector<double> dist_prev;  // Bellman-Ford round buffer
+  std::vector<std::pair<std::size_t, const PathEdge*>> parent;
+};
+
+// Unbounded shortest path avoiding `direct`; fills dist/parent.
+void dijkstra_avoiding(const Adjacency& adj, const PathEdge& direct,
+                       std::size_t src, std::size_t dst, Metric metric,
+                       SearchScratch& s) {
+  std::fill(s.dist.begin(), s.dist.end(), kInf);
+  s.dist[src] = 0.0;
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > s.dist[u]) continue;
+    if (u == dst) break;
+    for (const auto& [v, edge] : adj.out[u]) {
+      if (edge == &direct) continue;  // the removed default edge
+      const double nd = d + edge_weight(*edge, metric);
+      if (nd < s.dist[v]) {
+        s.dist[v] = nd;
+        s.parent[v] = {u, edge};
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+// Hop-bounded shortest path (at most max_edges edges) avoiding `direct`.
+// Dijkstra cannot enforce an edge budget, so run max_edges Bellman-Ford
+// rounds; parent pointers are consistent because an entry improved in round
+// k extends a path settled in round k-1.
+void bellman_bounded(const Adjacency& adj, const PathEdge& direct,
+                     std::size_t src, int max_edges, Metric metric,
+                     SearchScratch& s) {
+  std::fill(s.dist.begin(), s.dist.end(), kInf);
+  s.dist[src] = 0.0;
+  for (int round = 0; round < max_edges; ++round) {
+    s.dist_prev = s.dist;
+    for (std::size_t u = 0; u < adj.out.size(); ++u) {
+      if (s.dist_prev[u] == kInf) continue;
+      for (const auto& [v, edge] : adj.out[u]) {
+        if (edge == &direct) continue;
+        const double nd = s.dist_prev[u] + edge_weight(*edge, metric);
+        if (nd < s.dist[v]) {
+          s.dist[v] = nd;
+          s.parent[v] = {u, edge};
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
+                                                const AnalyzerOptions& options) {
+  const Adjacency adj = build_adjacency(table);
+  const std::size_t n = table.hosts().size();
+
+  std::vector<PairResult> results;
+  results.reserve(table.edges().size());
+
+  SearchScratch scratch;
+  scratch.dist.resize(n);
+  scratch.parent.resize(n);
+
+  for (const PathEdge& direct : table.edges()) {
+    const std::size_t src = table.host_index(direct.a);
+    const std::size_t dst = table.host_index(direct.b);
+
+    std::fill(scratch.parent.begin(), scratch.parent.end(),
+              std::make_pair(std::size_t{0}, static_cast<const PathEdge*>(nullptr)));
+    if (options.max_intermediate_hosts > 0) {
+      bellman_bounded(adj, direct, src, options.max_intermediate_hosts + 1,
+                      options.metric, scratch);
+    } else {
+      dijkstra_avoiding(adj, direct, src, dst, options.metric, scratch);
+    }
+    if (scratch.dist[dst] == kInf) continue;  // no alternate path exists
+    const auto& parent = scratch.parent;
+
+    // Reconstruct the edge sequence dst -> src.
+    std::vector<const PathEdge*> path_edges;
+    std::vector<topo::HostId> via;
+    std::size_t cursor = dst;
+    while (cursor != src) {
+      const auto& [prev, edge] = parent[cursor];
+      path_edges.push_back(edge);
+      if (prev != src) via.push_back(table.hosts()[prev]);
+      cursor = prev;
+    }
+    std::reverse(path_edges.begin(), path_edges.end());
+    std::reverse(via.begin(), via.end());
+
+    PairResult r;
+    r.a = direct.a;
+    r.b = direct.b;
+    r.default_value = edge_metric_value(direct, options.metric);
+    r.alternate_value = compose_metric(path_edges, options.metric);
+    r.via = std::move(via);
+    if (options.metric != Metric::kPropagation) {
+      r.default_estimate = options.metric == Metric::kRtt
+                               ? stats::MeanEstimate::from_summary(direct.rtt)
+                               : stats::MeanEstimate::from_summary(direct.loss);
+      r.alternate_estimate = compose_estimate(path_edges, options.metric);
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace pathsel::core

@@ -1,0 +1,73 @@
+// Synthetic alternate path analysis — the paper's core methodology (§4.1).
+//
+// For every measured host pair (A, B), remove the direct edge from the
+// path-quality graph and compute the best alternate path from A to B whose
+// hops are other measured host-to-host paths.  Metrics compose as in the
+// paper: round-trip times and propagation delays add; loss rates combine as
+// independent per-hop survival probabilities (1 - prod(1 - p_i), made
+// additive by a -log(1-p) transform for the shortest-path computation).
+// Alongside the point values, uncertainty is propagated (sum of variances
+// for RTT; delta method for composed loss) so the §6.2 confidence analysis
+// can classify every pair with a Welch t-test.
+#pragma once
+
+#include <vector>
+
+#include "core/path_table.h"
+#include "stats/summary.h"
+
+namespace pathsel::core {
+
+enum class Metric {
+  kRtt,          // mean round-trip time, ms
+  kLoss,         // mean loss rate, [0, 1]
+  kPropagation,  // 10th-percentile RTT, ms (requires retained samples)
+};
+
+struct PairResult {
+  topo::HostId a;
+  topo::HostId b;
+  double default_value = 0.0;
+  double alternate_value = 0.0;
+  /// Intermediate hosts of the best alternate path, in order from a to b.
+  std::vector<topo::HostId> via;
+  /// Uncertainty estimates (meaningful for kRtt and kLoss).
+  stats::MeanEstimate default_estimate;
+  stats::MeanEstimate alternate_estimate;
+
+  /// Positive when the alternate is better (the paper's x axes).
+  [[nodiscard]] double improvement() const noexcept {
+    return default_value - alternate_value;
+  }
+  /// default / alternate, >1 when the alternate is better (Figure 2).
+  [[nodiscard]] double ratio() const noexcept {
+    return alternate_value > 0.0 ? default_value / alternate_value : 1.0;
+  }
+};
+
+struct AnalyzerOptions {
+  Metric metric = Metric::kRtt;
+  /// Maximum number of intermediate hosts on an alternate path; 0 means
+  /// unlimited (full shortest-path computation).  The paper restricts some
+  /// analyses (medians, bandwidth) to one hop for tractability.
+  int max_intermediate_hosts = 0;
+};
+
+/// Computes the best alternate for every measured pair.  Pairs whose removal
+/// disconnects A from B (no alternate exists) are omitted.
+[[nodiscard]] std::vector<PairResult> analyze_alternate_paths(
+    const PathTable& table, const AnalyzerOptions& options = {});
+
+/// Metric value of an edge (the graph weight before any transform).
+[[nodiscard]] double edge_metric_value(const PathEdge& edge, Metric metric);
+
+/// Composed metric value along a sequence of edges (additive for RTT and
+/// propagation; complement-product for loss).
+[[nodiscard]] double compose_metric(std::span<const PathEdge* const> edges,
+                                    Metric metric);
+
+/// Uncertainty estimate for a composed path (delta method for loss).
+[[nodiscard]] stats::MeanEstimate compose_estimate(
+    std::span<const PathEdge* const> edges, Metric metric);
+
+}  // namespace pathsel::core

@@ -1,0 +1,52 @@
+#include "core/as_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pathsel::core {
+
+std::vector<AsAppearance> as_appearances(const PathTable& table,
+                                         std::span<const PairResult> results) {
+  std::unordered_map<topo::AsId, AsAppearance> acc;
+
+  for (const PathEdge& e : table.edges()) {
+    std::unordered_set<topo::AsId> seen{e.as_path.begin(), e.as_path.end()};
+    for (const topo::AsId as : seen) {
+      auto [it, inserted] = acc.try_emplace(as);
+      it->second.as = as;
+      it->second.default_count += 1;
+    }
+  }
+
+  for (const PairResult& r : results) {
+    // Hosts along the alternate: a, via..., b; collect the AS sets of the
+    // constituent edges.
+    std::vector<topo::HostId> chain;
+    chain.push_back(r.a);
+    chain.insert(chain.end(), r.via.begin(), r.via.end());
+    chain.push_back(r.b);
+    std::unordered_set<topo::AsId> seen;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const PathEdge* e = table.find(chain[i], chain[i + 1]);
+      if (e == nullptr) continue;
+      seen.insert(e->as_path.begin(), e->as_path.end());
+    }
+    for (const topo::AsId as : seen) {
+      auto [it, inserted] = acc.try_emplace(as);
+      it->second.as = as;
+      it->second.alternate_count += 1;
+    }
+  }
+
+  std::vector<AsAppearance> out;
+  out.reserve(acc.size());
+  for (const auto& [as, appearance] : acc) out.push_back(appearance);
+  std::sort(out.begin(), out.end(),
+            [](const AsAppearance& x, const AsAppearance& y) {
+              return x.as < y.as;
+            });
+  return out;
+}
+
+}  // namespace pathsel::core

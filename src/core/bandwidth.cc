@@ -1,0 +1,55 @@
+#include "core/bandwidth.h"
+
+#include <algorithm>
+
+#include "sim/tcp_model.h"
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+namespace {
+
+constexpr double kMinLoss = 1e-6;  // keeps the Mathis model finite
+
+double composed_bandwidth(const PathEdge& first, const PathEdge& second,
+                          LossComposition composition) {
+  const double rtt = first.tcp_rtt.mean() + second.tcp_rtt.mean();
+  const double l1 = first.tcp_loss.mean();
+  const double l2 = second.tcp_loss.mean();
+  const double loss = composition == LossComposition::kOptimistic
+                          ? std::max(l1, l2)
+                          : 1.0 - (1.0 - l1) * (1.0 - l2);
+  return sim::mathis_bandwidth_kBps(rtt, std::max(loss, kMinLoss));
+}
+
+}  // namespace
+
+std::vector<BandwidthPairResult> analyze_bandwidth(const PathTable& table,
+                                                   LossComposition composition) {
+  std::vector<BandwidthPairResult> results;
+  for (const PathEdge& direct : table.edges()) {
+    PATHSEL_EXPECT(direct.bandwidth.count() > 0,
+                   "bandwidth analysis requires a TCP-transfer dataset");
+    BandwidthPairResult best;
+    best.a = direct.a;
+    best.b = direct.b;
+    best.default_kBps = direct.bandwidth.mean();
+    bool found = false;
+    for (const topo::HostId c : table.hosts()) {
+      if (c == direct.a || c == direct.b) continue;
+      const PathEdge* first = table.find(direct.a, c);
+      const PathEdge* second = table.find(c, direct.b);
+      if (first == nullptr || second == nullptr) continue;
+      const double bw = composed_bandwidth(*first, *second, composition);
+      if (!found || bw > best.alternate_kBps) {
+        best.alternate_kBps = bw;
+        best.via = c;
+        found = true;
+      }
+    }
+    if (found) results.push_back(best);
+  }
+  return results;
+}
+
+}  // namespace pathsel::core

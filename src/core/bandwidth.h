@@ -1,0 +1,44 @@
+// One-hop alternate-path bandwidth analysis (§5, Figures 4 and 5).
+//
+// Bandwidth does not compose additively, and measured TCP loss is ambiguous:
+// the sender cannot tell how much of the loss it caused itself.  The paper
+// therefore computes alternate-path bandwidth from the composed RTT and loss
+// with the Mathis model, under two loss-composition assumptions bracketing
+// the truth: "optimistic" (take the max of the hop loss rates — the sender
+// caused all loss, so the highest loss marks the tightest bottleneck) and
+// "pessimistic" (hop losses are independent background loss).  Alternate
+// paths are restricted to one intermediate hop for tractability, as in the
+// paper.
+#pragma once
+
+#include <vector>
+
+#include "core/path_table.h"
+
+namespace pathsel::core {
+
+enum class LossComposition { kOptimistic, kPessimistic };
+
+struct BandwidthPairResult {
+  topo::HostId a;
+  topo::HostId b;
+  double default_kBps = 0.0;
+  double alternate_kBps = 0.0;
+  topo::HostId via{};
+
+  /// Positive when the alternate is better (Figure 4's x axis).
+  [[nodiscard]] double improvement() const noexcept {
+    return alternate_kBps - default_kBps;
+  }
+  /// alternate / default, >1 when the alternate is better (Figure 5).
+  [[nodiscard]] double ratio() const noexcept {
+    return default_kBps > 0.0 ? alternate_kBps / default_kBps : 1.0;
+  }
+};
+
+/// Requires a table built from a TCP-transfer dataset.  Pairs with no
+/// one-hop alternate are omitted.
+[[nodiscard]] std::vector<BandwidthPairResult> analyze_bandwidth(
+    const PathTable& table, LossComposition composition);
+
+}  // namespace pathsel::core

@@ -1,0 +1,54 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+
+namespace pathsel::core {
+
+SignificanceTally classify_significance(std::span<const PairResult> results,
+                                        double confidence) {
+  SignificanceTally tally;
+  tally.pairs = results.size();
+  if (results.empty()) return tally;
+  std::size_t better = 0;
+  std::size_t worse = 0;
+  std::size_t indeterminate = 0;
+  std::size_t zero = 0;
+  for (const auto& r : results) {
+    const auto t = stats::welch_ttest(r.default_estimate, r.alternate_estimate,
+                                      confidence);
+    switch (t.verdict) {
+      case stats::Significance::kBetter: ++better; break;
+      case stats::Significance::kWorse: ++worse; break;
+      case stats::Significance::kIndeterminate: ++indeterminate; break;
+      case stats::Significance::kZero: ++zero; break;
+    }
+  }
+  const auto n = static_cast<double>(results.size());
+  tally.better = static_cast<double>(better) / n;
+  tally.worse = static_cast<double>(worse) / n;
+  tally.indeterminate = static_cast<double>(indeterminate) / n;
+  tally.zero = static_cast<double>(zero) / n;
+  return tally;
+}
+
+std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
+                                    double confidence) {
+  std::vector<CiPoint> points;
+  points.reserve(results.size());
+  for (const auto& r : results) {
+    const auto t = stats::welch_ttest(r.default_estimate, r.alternate_estimate,
+                                      confidence);
+    points.push_back(CiPoint{t.difference, 0.0, t.half_width});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const CiPoint& x, const CiPoint& y) {
+              return x.difference < y.difference;
+            });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].fraction =
+        static_cast<double>(i + 1) / static_cast<double>(points.size());
+  }
+  return points;
+}
+
+}  // namespace pathsel::core

@@ -1,0 +1,43 @@
+// Confidence analysis (§6.2: Figures 7/8, Tables 2/3).
+//
+// For every pair the difference between the default mean and the best
+// alternate's composed mean carries a 95% confidence interval computed as in
+// the paper ((a - b) ± t[.975; v] · s, Jain's formulation) with
+// Welch-Satterthwaite degrees of freedom from the per-edge sample statistics.
+// Tables 2/3 classify pairs as better / worse / indeterminate (loss adds a
+// "zero" class for pairs that saw no losses at all on either path).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alternate.h"
+#include "stats/ttest.h"
+
+namespace pathsel::core {
+
+struct SignificanceTally {
+  std::size_t pairs = 0;
+  double better = 0.0;         // fraction of pairs
+  double indeterminate = 0.0;
+  double worse = 0.0;
+  double zero = 0.0;           // loss-rate only
+};
+
+[[nodiscard]] SignificanceTally classify_significance(
+    std::span<const PairResult> results, double confidence = 0.95);
+
+/// One point of the Figure 7/8 plot: the pair's mean difference, its
+/// cumulative fraction, and the CI half-width to draw as an error bar.
+struct CiPoint {
+  double difference = 0.0;
+  double fraction = 0.0;
+  double half_width = 0.0;
+};
+
+/// Points sorted by difference (the CDF), each with its own half-width.
+[[nodiscard]] std::vector<CiPoint> confidence_cdf(
+    std::span<const PairResult> results, double confidence = 0.95);
+
+}  // namespace pathsel::core

@@ -1,0 +1,45 @@
+#include "core/figures.h"
+
+namespace pathsel::core {
+
+stats::EmpiricalCdf improvement_cdf(std::span<const PairResult> results) {
+  stats::EmpiricalCdf cdf;
+  for (const auto& r : results) cdf.add(r.improvement());
+  return cdf;
+}
+
+stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results) {
+  stats::EmpiricalCdf cdf;
+  for (const auto& r : results) cdf.add(r.ratio());
+  return cdf;
+}
+
+stats::EmpiricalCdf bandwidth_improvement_cdf(
+    std::span<const BandwidthPairResult> results) {
+  stats::EmpiricalCdf cdf;
+  for (const auto& r : results) cdf.add(r.improvement());
+  return cdf;
+}
+
+stats::EmpiricalCdf bandwidth_ratio_cdf(
+    std::span<const BandwidthPairResult> results) {
+  stats::EmpiricalCdf cdf;
+  for (const auto& r : results) cdf.add(r.ratio());
+  return cdf;
+}
+
+double fraction_improved(std::span<const PairResult> results) {
+  if (results.empty()) return 0.0;
+  std::size_t improved = 0;
+  for (const auto& r : results) improved += r.improvement() > 0.0 ? 1u : 0u;
+  return static_cast<double>(improved) / static_cast<double>(results.size());
+}
+
+double fraction_improved(std::span<const BandwidthPairResult> results) {
+  if (results.empty()) return 0.0;
+  std::size_t improved = 0;
+  for (const auto& r : results) improved += r.improvement() > 0.0 ? 1u : 0u;
+  return static_cast<double>(improved) / static_cast<double>(results.size());
+}
+
+}  // namespace pathsel::core

@@ -1,0 +1,34 @@
+// CDF builders for the paper's figures.
+//
+// Every figure in §5/§6 is a CDF across host pairs.  These helpers map pair
+// results to the exact quantities plotted: absolute improvement (default −
+// alternate for RTT/loss; alternate − default for bandwidth, so positive is
+// always "alternate superior") and relative improvement (>1 means the
+// alternate is superior).
+#pragma once
+
+#include <span>
+
+#include "core/alternate.h"
+#include "core/bandwidth.h"
+#include "stats/cdf.h"
+
+namespace pathsel::core {
+
+[[nodiscard]] stats::EmpiricalCdf improvement_cdf(
+    std::span<const PairResult> results);
+
+[[nodiscard]] stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results);
+
+[[nodiscard]] stats::EmpiricalCdf bandwidth_improvement_cdf(
+    std::span<const BandwidthPairResult> results);
+
+[[nodiscard]] stats::EmpiricalCdf bandwidth_ratio_cdf(
+    std::span<const BandwidthPairResult> results);
+
+/// Fraction of pairs for which the best alternate is strictly better.
+[[nodiscard]] double fraction_improved(std::span<const PairResult> results);
+[[nodiscard]] double fraction_improved(
+    std::span<const BandwidthPairResult> results);
+
+}  // namespace pathsel::core

@@ -1,0 +1,61 @@
+#include "core/median.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/histogram.h"
+#include "stats/quantile.h"
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+std::vector<MedianPairResult> analyze_median_alternates(
+    const PathTable& table, const MedianOptions& options) {
+  PATHSEL_EXPECT(options.bin_width_ms > 0.0, "bin width must be positive");
+
+  // One histogram per edge, cached; shared bin width so they convolve.
+  double max_rtt = 0.0;
+  for (const PathEdge& e : table.edges()) {
+    PATHSEL_EXPECT(!e.rtt_samples.empty(),
+                   "median analysis requires retained samples");
+    max_rtt = std::max(max_rtt, e.rtt.max());
+  }
+  const auto bins = static_cast<std::size_t>(max_rtt / options.bin_width_ms) + 2;
+
+  std::unordered_map<const PathEdge*, stats::Histogram> hist;
+  hist.reserve(table.edges().size());
+  for (const PathEdge& e : table.edges()) {
+    stats::Histogram h{0.0, options.bin_width_ms, bins};
+    for (const double s : e.rtt_samples) h.add(s);
+    hist.emplace(&e, std::move(h));
+  }
+
+  std::vector<MedianPairResult> results;
+  for (const PathEdge& direct : table.edges()) {
+    MedianPairResult best;
+    best.a = direct.a;
+    best.b = direct.b;
+    // Use the *binned* median for the default too, so default and alternate
+    // carry the same quantization bias and compare fairly.
+    best.default_median = hist.at(&direct).median();
+    bool found = false;
+    for (const topo::HostId c : table.hosts()) {
+      if (c == direct.a || c == direct.b) continue;
+      const PathEdge* first = table.find(direct.a, c);
+      const PathEdge* second = table.find(c, direct.b);
+      if (first == nullptr || second == nullptr) continue;
+      const stats::Histogram sum =
+          stats::Histogram::convolve(hist.at(first), hist.at(second));
+      const double med = sum.median();
+      if (!found || med < best.alternate_median) {
+        best.alternate_median = med;
+        best.via = c;
+        found = true;
+      }
+    }
+    if (found) results.push_back(best);
+  }
+  return results;
+}
+
+}  // namespace pathsel::core

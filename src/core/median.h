@@ -1,0 +1,40 @@
+// Mean vs. median comparison (§6.1, Figure 6).
+//
+// The median of a composed path is the median of a sum of independent
+// per-hop random variables; the paper obtains it by convolving the per-hop
+// sample distributions and taking the median of the result, restricting
+// alternates to one intermediate hop to keep the computation tractable.
+// This module produces both CDFs — mean-based and median-based, both
+// one-hop — so the bench can overlay them as Figure 6 does.
+#pragma once
+
+#include <vector>
+
+#include "core/alternate.h"
+#include "core/path_table.h"
+
+namespace pathsel::core {
+
+struct MedianPairResult {
+  topo::HostId a;
+  topo::HostId b;
+  double default_median = 0.0;
+  double alternate_median = 0.0;
+  topo::HostId via{};
+
+  [[nodiscard]] double improvement() const noexcept {
+    return default_median - alternate_median;
+  }
+};
+
+struct MedianOptions {
+  /// Histogram bin width for the convolution, in ms.
+  double bin_width_ms = 5.0;
+};
+
+/// Requires a table built with keep_samples.  Pairs with no one-hop
+/// alternate are omitted.
+[[nodiscard]] std::vector<MedianPairResult> analyze_median_alternates(
+    const PathTable& table, const MedianOptions& options = {});
+
+}  // namespace pathsel::core

@@ -1,0 +1,216 @@
+#include "core/overlay.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+OverlayMesh::OverlayMesh(const sim::Network& network,
+                         std::vector<topo::HostId> members,
+                         const OverlayConfig& config)
+    : net_{&network}, members_{std::move(members)}, config_{config} {
+  PATHSEL_EXPECT(members_.size() >= 3, "overlay needs at least three members");
+  PATHSEL_EXPECT(config_.metric != Metric::kPropagation,
+                 "overlay routes on RTT or loss");
+  PATHSEL_EXPECT(config_.max_relays >= 1, "overlay needs a relay budget >= 1");
+  PATHSEL_EXPECT(config_.hysteresis >= 0.0, "hysteresis must be non-negative");
+  PATHSEL_EXPECT(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                 "EWMA weight must be in (0, 1]");
+  estimates_.resize(members_.size() * members_.size());
+}
+
+std::size_t OverlayMesh::index_of(topo::HostId h) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == h) return i;
+  }
+  PATHSEL_EXPECT(false, "host is not an overlay member");
+  return 0;
+}
+
+const OverlayMesh::LinkEstimate& OverlayMesh::link(std::size_t a,
+                                                   std::size_t b) const {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return estimates_[lo * members_.size() + hi];
+}
+
+OverlayMesh::LinkEstimate& OverlayMesh::link(std::size_t a, std::size_t b) {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return estimates_[lo * members_.size() + hi];
+}
+
+void OverlayMesh::probe(SimTime now) {
+  const double alpha = config_.ewma_alpha;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      const auto result = net_->traceroute(members_[i], members_[j], now);
+      if (!result.completed) continue;
+      int sent = 0;
+      int lost = 0;
+      double rtt = -1.0;
+      for (const auto& s : result.samples) {
+        ++sent;
+        if (s.lost) {
+          ++lost;
+        } else if (rtt < 0.0) {
+          rtt = s.rtt_ms;
+        }
+      }
+      LinkEstimate& e = link(i, j);
+      const double loss_sample =
+          static_cast<double>(lost) / static_cast<double>(sent);
+      if (!e.valid) {
+        if (rtt < 0.0) continue;  // wait for a round trip before trusting
+        e.rtt_ms = rtt;
+        e.loss = loss_sample;
+        e.valid = true;
+        continue;
+      }
+      if (rtt >= 0.0) e.rtt_ms += alpha * (rtt - e.rtt_ms);
+      e.loss += alpha * (loss_sample - e.loss);
+    }
+  }
+}
+
+double OverlayMesh::metric_of(const LinkEstimate& e) const {
+  return config_.metric == Metric::kRtt ? e.rtt_ms : e.loss;
+}
+
+double OverlayMesh::compose(double a, double b) const {
+  if (config_.metric == Metric::kRtt) return a + b;
+  return 1.0 - (1.0 - a) * (1.0 - b);  // independent loss
+}
+
+std::optional<double> OverlayMesh::estimate(topo::HostId a,
+                                            topo::HostId b) const {
+  const LinkEstimate& e = link(index_of(a), index_of(b));
+  if (!e.valid) return std::nullopt;
+  return metric_of(e);
+}
+
+OverlayRoute OverlayMesh::route(topo::HostId src, topo::HostId dst) const {
+  PATHSEL_EXPECT(src != dst, "route requires distinct endpoints");
+  const std::size_t s = index_of(src);
+  const std::size_t d = index_of(dst);
+
+  OverlayRoute out;
+  out.src = src;
+  out.dst = dst;
+
+  const LinkEstimate& direct = link(s, d);
+  out.predicted_direct = direct.valid ? metric_of(direct) : kInf;
+
+  // Bounded-hop best path over the estimate graph (Bellman-Ford rounds, as
+  // in the offline analyzer; max_relays + 1 edges).
+  const std::size_t n = members_.size();
+  std::vector<double> dist(n, kInf);
+  std::vector<double> prev_dist(n);
+  std::vector<std::size_t> parent(n, n);
+  dist[s] = config_.metric == Metric::kRtt ? 0.0 : 0.0;
+  for (int round = 0; round <= config_.max_relays; ++round) {
+    prev_dist = dist;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (prev_dist[u] == kInf) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == u || v == s) continue;
+        const LinkEstimate& e = link(u, v);
+        if (!e.valid) continue;
+        const double nd = compose(prev_dist[u], metric_of(e));
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          parent[v] = u;
+        }
+      }
+    }
+  }
+
+  out.predicted = out.predicted_direct;
+  if (dist[d] < kInf && out.predicted_direct < kInf) {
+    // Detour only for a predicted relative gain beyond the hysteresis.
+    const bool worth_it =
+        dist[d] < out.predicted_direct * (1.0 - config_.hysteresis);
+    if (worth_it) {
+      std::vector<topo::HostId> relays;
+      std::size_t cursor = d;
+      while (parent[cursor] != n && parent[cursor] != s) {
+        cursor = parent[cursor];
+        relays.push_back(members_[cursor]);
+      }
+      std::reverse(relays.begin(), relays.end());
+      if (!relays.empty()) {
+        out.relays = std::move(relays);
+        out.predicted = dist[d];
+      }
+    }
+  } else if (dist[d] < kInf && out.predicted_direct == kInf) {
+    // No direct estimate at all: any relayed route beats flying blind.
+    std::vector<topo::HostId> relays;
+    std::size_t cursor = d;
+    while (parent[cursor] != n && parent[cursor] != s) {
+      cursor = parent[cursor];
+      relays.push_back(members_[cursor]);
+    }
+    std::reverse(relays.begin(), relays.end());
+    out.relays = std::move(relays);
+    out.predicted = dist[d];
+  }
+  return out;
+}
+
+double OverlayMesh::ground_truth_leg(topo::HostId a, topo::HostId b,
+                                     SimTime t) const {
+  const auto& fwd = net_->default_path(a, b);
+  const auto& rev = net_->default_path(b, a);
+  if (config_.metric == Metric::kRtt) {
+    return net_->expected_one_way_ms(fwd, t) + net_->expected_one_way_ms(rev, t);
+  }
+  const double survive = (1.0 - net_->one_way_loss_probability(fwd, t)) *
+                         (1.0 - net_->one_way_loss_probability(rev, t));
+  return 1.0 - survive;
+}
+
+double OverlayMesh::ground_truth(const OverlayRoute& r, SimTime t) const {
+  topo::HostId cursor = r.src;
+  double total = config_.metric == Metric::kRtt ? 0.0 : 0.0;
+  bool first = true;
+  for (const topo::HostId relay : r.relays) {
+    const double leg = ground_truth_leg(cursor, relay, t);
+    total = first ? leg : compose(total, leg);
+    first = false;
+    cursor = relay;
+  }
+  const double last = ground_truth_leg(cursor, r.dst, t);
+  return first ? last : compose(total, last);
+}
+
+OverlayReport OverlayMesh::evaluate(SimTime begin, Duration span) {
+  PATHSEL_EXPECT(span > Duration{}, "evaluation span must be positive");
+  OverlayReport report;
+  const SimTime end = begin + span;
+  for (SimTime now = begin; now < end; now = now + config_.probe_interval) {
+    probe(now);
+    for (const topo::HostId src : members_) {
+      for (const topo::HostId dst : members_) {
+        if (src == dst) continue;
+        const OverlayRoute r = route(src, dst);
+        OverlayRoute direct;
+        direct.src = src;
+        direct.dst = dst;
+        report.direct_metric.add(ground_truth(direct, now));
+        report.overlay_metric.add(ground_truth(r, now));
+        ++report.decisions;
+        if (r.detoured()) ++report.detoured;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pathsel::core

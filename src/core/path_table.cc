@@ -1,0 +1,125 @@
+#include "core/path_table.h"
+
+#include <algorithm>
+
+#include "stats/quantile.h"
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+namespace {
+
+std::uint64_t edge_key(topo::HostId x, topo::HostId y) {
+  const auto lo = static_cast<std::uint32_t>(std::min(x, y).value());
+  const auto hi = static_cast<std::uint32_t>(std::max(x, y).value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+double PathEdge::propagation_ms() const {
+  PATHSEL_EXPECT(!rtt_samples.empty(),
+                 "propagation estimate requires retained RTT samples");
+  return stats::quantile(rtt_samples, 0.10);
+}
+
+PathTable PathTable::build(const meas::Dataset& dataset,
+                           const BuildOptions& options) {
+  PathTable table;
+  table.hosts_ = dataset.hosts;
+
+  std::unordered_map<std::uint64_t, PathEdge> acc;
+  for (const auto& m : dataset.measurements) {
+    if (!m.completed) continue;
+    if (options.filter && !options.filter(m)) continue;
+
+    const std::uint64_t key = edge_key(m.src, m.dst);
+    auto [it, inserted] = acc.try_emplace(key);
+    PathEdge& e = it->second;
+    if (inserted) {
+      e.a = std::min(m.src, m.dst);
+      e.b = std::max(m.src, m.dst);
+    }
+    e.invocations += 1;
+
+    if (dataset.kind == meas::MeasurementKind::kTraceroute) {
+      for (std::size_t i = 0; i < m.samples.size(); ++i) {
+        const auto& s = m.samples[i];
+        if (!s.lost) {
+          e.rtt.add(s.rtt_ms);
+          if (options.keep_samples) e.rtt_samples.push_back(s.rtt_ms);
+        }
+        // D2 heuristic: rate-limiting servers cannot be identified, so only
+        // the first sample of an invocation counts toward loss.
+        if (!dataset.first_sample_loss_only || i == 0) {
+          e.loss.add(s.lost ? 1.0 : 0.0);
+        }
+      }
+      if (e.as_path.empty() && !m.as_path.empty()) {
+        e.as_path = m.as_path;
+      }
+    } else {
+      e.bandwidth.add(m.bandwidth_kBps);
+      e.tcp_rtt.add(m.tcp_rtt_ms);
+      e.tcp_loss.add(m.tcp_loss_rate);
+    }
+  }
+
+  for (auto& [key, edge] : acc) {
+    if (edge.invocations < options.min_samples) continue;
+    // A traceroute path where every sample was lost has no RTT estimate and
+    // cannot back an alternate hop.
+    if (dataset.kind == meas::MeasurementKind::kTraceroute &&
+        edge.rtt.count() < 2) {
+      continue;
+    }
+    table.edges_.push_back(std::move(edge));
+  }
+  std::sort(table.edges_.begin(), table.edges_.end(),
+            [](const PathEdge& x, const PathEdge& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  table.reindex();
+  return table;
+}
+
+void PathTable::reindex() {
+  edge_index_.clear();
+  host_index_.clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    edge_index_.emplace(edge_key(edges_[i].a, edges_[i].b), i);
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    host_index_.emplace(hosts_[i], i);
+  }
+}
+
+const PathEdge* PathTable::find(topo::HostId x, topo::HostId y) const {
+  const auto it = edge_index_.find(edge_key(x, y));
+  return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
+std::size_t PathTable::host_index(topo::HostId h) const {
+  const auto it = host_index_.find(h);
+  PATHSEL_EXPECT(it != host_index_.end(), "host not in path table");
+  return it->second;
+}
+
+PathTable PathTable::without_hosts(
+    std::span<const topo::HostId> removed) const {
+  auto is_removed = [removed](topo::HostId h) {
+    return std::find(removed.begin(), removed.end(), h) != removed.end();
+  };
+  PathTable out;
+  for (const topo::HostId h : hosts_) {
+    if (!is_removed(h)) out.hosts_.push_back(h);
+  }
+  for (const PathEdge& e : edges_) {
+    if (!is_removed(e.a) && !is_removed(e.b)) out.edges_.push_back(e);
+  }
+  out.reindex();
+  return out;
+}
+
+}  // namespace pathsel::core

@@ -1,0 +1,58 @@
+#include "core/triangulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/expect.h"
+
+namespace pathsel::core {
+
+std::vector<TriangulationResult> triangulate_propagation(
+    const PathTable& table) {
+  // Cache per-edge propagation to avoid re-sorting samples per query.
+  std::unordered_map<const PathEdge*, double> prop;
+  prop.reserve(table.edges().size());
+  for (const PathEdge& e : table.edges()) {
+    prop.emplace(&e, e.propagation_ms());
+  }
+
+  std::vector<TriangulationResult> out;
+  for (const PathEdge& direct : table.edges()) {
+    TriangulationResult r;
+    r.a = direct.a;
+    r.b = direct.b;
+    r.actual = prop.at(&direct);
+    r.lower = 0.0;
+    r.upper = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const topo::HostId c : table.hosts()) {
+      if (c == direct.a || c == direct.b) continue;
+      const PathEdge* leg1 = table.find(direct.a, c);
+      const PathEdge* leg2 = table.find(c, direct.b);
+      if (leg1 == nullptr || leg2 == nullptr) continue;
+      const double p1 = prop.at(leg1);
+      const double p2 = prop.at(leg2);
+      r.lower = std::max(r.lower, std::fabs(p1 - p2));
+      if (p1 + p2 < r.upper) {
+        r.upper = p1 + p2;
+        r.upper_via = c;
+      }
+      found = true;
+    }
+    if (found) out.push_back(r);
+  }
+  return out;
+}
+
+stats::EmpiricalCdf triangulation_accuracy_cdf(
+    std::span<const TriangulationResult> results) {
+  stats::EmpiricalCdf cdf;
+  for (const auto& r : results) {
+    if (r.actual > 0.0) cdf.add(r.upper / r.actual);
+  }
+  return cdf;
+}
+
+}  // namespace pathsel::core

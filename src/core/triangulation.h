@@ -1,0 +1,41 @@
+// Propagation-delay triangulation (the IDMaps cross-validation).
+//
+// Section 2 of the paper notes that Francis et al. [FJP+99] independently
+// developed a triangulation methodology for estimating minimum propagation
+// delay between Internet hosts, and that the paper's tool suite can
+// regenerate their graphs.  This module is that capability: for each
+// measured pair (A, B), the other hosts' measured propagation delays bound
+// the pair's own delay by the triangle inequality —
+//   lower = max_C |prop(A,C) - prop(C,B)|,
+//   upper = min_C (prop(A,C) + prop(C,B)),
+// and the upper bound doubles as the IDMaps-style estimate.  Comparing the
+// bounds against the directly measured value yields the accuracy CDFs.
+#pragma once
+
+#include <vector>
+
+#include "core/path_table.h"
+#include "stats/cdf.h"
+
+namespace pathsel::core {
+
+struct TriangulationResult {
+  topo::HostId a{};
+  topo::HostId b{};
+  double actual = 0.0;  // directly measured propagation (10th-pct RTT), ms
+  double lower = 0.0;   // triangle-inequality lower bound via third hosts
+  double upper = 0.0;   // triangle-inequality upper bound (the estimate)
+  topo::HostId upper_via{};  // host producing the upper bound
+};
+
+/// Requires a table built with keep_samples.  Pairs with no third host
+/// measured to both endpoints are omitted.
+[[nodiscard]] std::vector<TriangulationResult> triangulate_propagation(
+    const PathTable& table);
+
+/// CDF of estimate / actual (values near 1 mean the triangulated estimate
+/// matches the measured propagation delay).
+[[nodiscard]] stats::EmpiricalCdf triangulation_accuracy_cdf(
+    std::span<const TriangulationResult> results);
+
+}  // namespace pathsel::core

@@ -1,0 +1,64 @@
+#include "meas/availability.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace pathsel::meas {
+
+HostAvailability::HostAvailability(const AvailabilityConfig& config,
+                                   std::size_t host_count,
+                                   Duration trace_duration) {
+  PATHSEL_EXPECT(trace_duration > Duration{}, "trace duration must be positive");
+  Rng rng{config.seed};
+  down_.resize(host_count);
+  down_fraction_.assign(host_count, 0.0);
+
+  for (std::size_t h = 0; h < host_count; ++h) {
+    Rng host_rng = rng.fork(h);
+    if (host_rng.bernoulli(config.dead_fraction)) {
+      down_fraction_[h] = 1.0;
+      down_[h].push_back(Interval{SimTime::start(),
+                                  SimTime::start() + trace_duration});
+      continue;
+    }
+    if (!host_rng.bernoulli(config.flaky_fraction)) continue;
+    const double frac = host_rng.uniform(config.min_down_fraction,
+                                         config.max_down_fraction);
+    down_fraction_[h] = frac;
+    // Alternate up/down intervals with exponential lengths whose means hit
+    // the target down fraction.
+    const double mean_up_s = config.mean_up.total_seconds() * (1.0 - frac);
+    const double mean_down_s = config.mean_up.total_seconds() * frac;
+    SimTime cursor = SimTime::start();
+    const SimTime end = SimTime::start() + trace_duration;
+    bool up = host_rng.bernoulli(1.0 - frac);
+    while (cursor < end) {
+      const double len_s =
+          host_rng.exponential(up ? mean_up_s : mean_down_s) + 60.0;
+      const SimTime next = cursor + Duration::seconds(len_s);
+      if (!up) {
+        down_[h].push_back(Interval{cursor, next});
+      }
+      cursor = next;
+      up = !up;
+    }
+  }
+}
+
+bool HostAvailability::is_up(topo::HostId host, SimTime t) const {
+  PATHSEL_EXPECT(host.index() < down_.size(), "availability: unknown host");
+  const auto& intervals = down_[host.index()];
+  auto it = std::partition_point(
+      intervals.begin(), intervals.end(),
+      [t](const Interval& iv) { return !(t < iv.end); });
+  return it == intervals.end() || t < it->begin;
+}
+
+double HostAvailability::down_fraction(topo::HostId host) const {
+  PATHSEL_EXPECT(host.index() < down_fraction_.size(),
+                 "availability: unknown host");
+  return down_fraction_[host.index()];
+}
+
+}  // namespace pathsel::meas

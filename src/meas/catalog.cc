@@ -1,0 +1,274 @@
+#include "meas/catalog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "topo/generator.h"
+#include "util/expect.h"
+
+namespace pathsel::meas {
+
+namespace {
+
+topo::GeneratorConfig world95_topology(std::uint64_t seed) {
+  topo::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.world = true;
+  cfg.backbone_count = 4;
+  cfg.regional_count = 14;
+  cfg.stub_count = 55;
+  cfg.international_stub_fraction = 0.35;
+  // Mid-90s: public exchanges were the norm and ran extremely hot.
+  cfg.hot_exchange_fraction = 0.6;
+  cfg.exchange_utilization_mean = 0.80;
+  cfg.transit_utilization_mean = 0.42;   // loss concentrates at the NAPs,
+  cfg.access_utilization_mean = 0.40;    // not uniformly across the edge
+  cfg.research_member_fraction = 0.25;  // NSFNET-successor academic nets
+  cfg.rate_limited_host_fraction = 0.20;
+  return cfg;
+}
+
+topo::GeneratorConfig world98_topology(std::uint64_t seed) {
+  topo::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.world = false;
+  cfg.backbone_count = 6;
+  cfg.regional_count = 20;
+  cfg.stub_count = 70;
+  cfg.hot_exchange_fraction = 0.55;
+  cfg.exchange_utilization_mean = 0.78;
+  cfg.research_member_fraction = 0.30;  // vBNS era
+  cfg.rate_limited_host_fraction = 0.10;
+  return cfg;
+}
+
+}  // namespace
+
+Catalog::Catalog(CatalogConfig config) : config_{config} {
+  PATHSEL_EXPECT(config.scale > 0.0 && config.scale <= 1.0,
+                 "catalog scale must be in (0, 1]");
+}
+
+Duration Catalog::scaled(Duration d) const { return d * config_.scale; }
+
+const sim::Network& Catalog::world95() {
+  if (!world95_) {
+    sim::NetworkConfig net;
+    net.seed = config_.seed ^ 0x95;
+    net.link.loss_at_saturation = 0.30;       // lossier era
+    net.link.loss_knee_utilization = 0.42;     // tiny router buffers
+    net.tcp_window_kB = 16.0;                  // 1995 TCP stacks
+    world95_ = std::make_unique<sim::Network>(
+        topo::generate_topology(world95_topology(config_.seed + 1995)), net);
+  }
+  return *world95_;
+}
+
+const sim::Network& Catalog::world98() {
+  if (!world98_) {
+    sim::NetworkConfig net;
+    net.seed = config_.seed ^ 0x98;
+    net.link.loss_at_saturation = 0.13;
+    world98_ = std::make_unique<sim::Network>(
+        topo::generate_topology(world98_topology(config_.seed + 1998)), net);
+  }
+  return *world98_;
+}
+
+std::vector<topo::HostId> Catalog::pick_hosts(const sim::Network& net,
+                                              std::size_t count,
+                                              std::size_t na_count,
+                                              bool exclude_rate_limited,
+                                              std::uint64_t stream) {
+  Rng rng{splitmix64(stream) ^ config_.seed};
+  std::vector<topo::HostId> na;
+  std::vector<topo::HostId> intl;
+  for (const auto& h : net.topology().hosts()) {
+    if (exclude_rate_limited && h.icmp_rate_limited) continue;
+    (h.region == topo::Region::kNorthAmerica ? na : intl).push_back(h.id);
+  }
+  rng.shuffle(std::span<topo::HostId>{na});
+  rng.shuffle(std::span<topo::HostId>{intl});
+  PATHSEL_EXPECT(na.size() >= na_count, "not enough NA hosts in world");
+  PATHSEL_EXPECT(intl.size() >= count - na_count,
+                 "not enough international hosts in world");
+  std::vector<topo::HostId> out(na.begin(),
+                                na.begin() + static_cast<std::ptrdiff_t>(na_count));
+  out.insert(out.end(), intl.begin(),
+             intl.begin() + static_cast<std::ptrdiff_t>(count - na_count));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Dataset Catalog::subset(const Dataset& parent, std::string name,
+                        const std::vector<topo::HostId>& keep) {
+  std::unordered_set<topo::HostId> keep_set{keep.begin(), keep.end()};
+  Dataset out;
+  out.name = std::move(name);
+  out.kind = parent.kind;
+  out.duration = parent.duration;
+  out.hosts = keep;
+  out.first_sample_loss_only = parent.first_sample_loss_only;
+  out.episode_count = parent.episode_count;
+  for (const auto& m : parent.measurements) {
+    if (keep_set.contains(m.src) && keep_set.contains(m.dst)) {
+      out.measurements.push_back(m);
+    }
+  }
+  return out;
+}
+
+const Dataset& Catalog::d2() {
+  if (!d2_) {
+    // Table 1: 33 world hosts, 48 days, traceroute, 35109 measurements.
+    const auto hosts = pick_hosts(world95(), 33, 22, false, 0xd2);
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0xd201;
+    cfg.discipline = Discipline::kExponentialPair;
+    cfg.kind = MeasurementKind::kTraceroute;
+    cfg.duration = scaled(Duration::days(48));
+    cfg.mean_interval = Duration::seconds(110.0);
+    cfg.first_sample_loss_only = true;  // rate limiters unidentifiable in 1995
+    cfg.availability.seed = config_.seed ^ 0xd2aa;
+    cfg.availability.dead_fraction = 0.015;
+    d2_ = collect(world95(), hosts, cfg, "D2");
+  }
+  return *d2_;
+}
+
+const Dataset& Catalog::d2_na() {
+  if (!d2_na_) {
+    const Dataset& parent = d2();
+    std::vector<topo::HostId> na;
+    for (const topo::HostId h : parent.hosts) {
+      if (world95().topology().host(h).region == topo::Region::kNorthAmerica) {
+        na.push_back(h);
+      }
+    }
+    d2_na_ = subset(parent, "D2-NA", na);
+  }
+  return *d2_na_;
+}
+
+const Dataset& Catalog::n2() {
+  if (!n2_) {
+    // Table 1: 31 world hosts, 44 days, tcpanaly, 18274 measurements.
+    const auto hosts = pick_hosts(world95(), 31, 20, false, 0x4e32);
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0x4e01;
+    cfg.discipline = Discipline::kExponentialPair;
+    cfg.kind = MeasurementKind::kTcpTransfer;
+    cfg.duration = scaled(Duration::days(44));
+    cfg.mean_interval = Duration::seconds(200.0);
+    cfg.availability.seed = config_.seed ^ 0x4eaa;
+    cfg.availability.dead_fraction = 0.04;
+    n2_ = collect(world95(), hosts, cfg, "N2");
+  }
+  return *n2_;
+}
+
+const Dataset& Catalog::n2_na() {
+  if (!n2_na_) {
+    const Dataset& parent = n2();
+    std::vector<topo::HostId> na;
+    for (const topo::HostId h : parent.hosts) {
+      if (world95().topology().host(h).region == topo::Region::kNorthAmerica) {
+        na.push_back(h);
+      }
+    }
+    n2_na_ = subset(parent, "N2-NA", na);
+  }
+  return *n2_na_;
+}
+
+const Dataset& Catalog::uw1() {
+  if (!uw1_) {
+    // Table 1: 36 NA hosts, 34 days, per-server uniform schedule (mean 15
+    // minutes); rate-limiting hosts kept as sources but not targets.
+    const auto hosts = pick_hosts(world98(), 36, 36, false, 0x0101);
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0x5701;
+    cfg.discipline = Discipline::kUniformPerServer;
+    cfg.kind = MeasurementKind::kTraceroute;
+    cfg.duration = scaled(Duration::days(34));
+    cfg.mean_interval = Duration::minutes(15);
+    cfg.allow_rate_limited_targets = false;
+    cfg.availability.seed = config_.seed ^ 0x57aa;
+    cfg.availability.flaky_fraction = 0.15;
+    cfg.availability.dead_fraction = 0.03;
+    uw1_ = collect(world98(), hosts, cfg, "UW1");
+  }
+  return *uw1_;
+}
+
+const Dataset& Catalog::uw3() {
+  if (!uw3_) {
+    // Table 1: 39 NA hosts, 7 days, exponential pair selection (mean 9 s);
+    // rate-limiting hosts filtered from the pool entirely.
+    const auto hosts = pick_hosts(world98(), 39, 39, true, 0x0303);
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0x5703;
+    cfg.discipline = Discipline::kExponentialPair;
+    cfg.kind = MeasurementKind::kTraceroute;
+    cfg.duration = scaled(Duration::days(7));
+    cfg.mean_interval = Duration::seconds(9.0 * 7.0 / 11.0);  // ~94k attempts
+    cfg.availability.seed = config_.seed ^ 0x57bb;
+    cfg.availability.dead_fraction = 0.10;
+    uw3_ = collect(world98(), hosts, cfg, "UW3");
+  }
+  return *uw3_;
+}
+
+const Dataset& Catalog::uw4a() {
+  if (!uw4a_) {
+    // 15 hosts drawn from the UW3 set, measured full-mesh in episodes
+    // scheduled with an exponential mean of 1000 s over 14 days.
+    if (uw4_hosts_.empty()) {
+      std::vector<topo::HostId> pool = uw3().hosts;
+      Rng rng{config_.seed ^ 0x0404};
+      rng.shuffle(std::span<topo::HostId>{pool});
+      uw4_hosts_.assign(pool.begin(), pool.begin() + 15);
+      std::sort(uw4_hosts_.begin(), uw4_hosts_.end());
+    }
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0x5704;
+    cfg.discipline = Discipline::kEpisodeFullMesh;
+    cfg.kind = MeasurementKind::kTraceroute;
+    cfg.duration = scaled(Duration::days(14));
+    cfg.mean_interval = Duration::seconds(1000.0);
+    cfg.episode_window = Duration::minutes(4);
+    cfg.availability.flaky_fraction = 0.0;  // chosen for reliability: 100% cover
+    uw4a_ = collect(world98(), uw4_hosts_, cfg, "UW4-A");
+  }
+  return *uw4a_;
+}
+
+const Dataset& Catalog::uw4b() {
+  if (!uw4b_) {
+    (void)uw4a();  // fixes uw4_hosts_
+    CollectorConfig cfg;
+    cfg.seed = config_.seed ^ 0x5705;
+    cfg.discipline = Discipline::kExponentialPair;
+    cfg.kind = MeasurementKind::kTraceroute;
+    cfg.duration = scaled(Duration::days(14));
+    cfg.mean_interval = Duration::seconds(130.0);
+    cfg.availability.flaky_fraction = 0.0;
+    uw4b_ = collect(world98(), uw4_hosts_, cfg, "UW4-B");
+  }
+  return *uw4b_;
+}
+
+const Dataset& Catalog::by_name(std::string_view name) {
+  if (name == "D2") return d2();
+  if (name == "D2-NA") return d2_na();
+  if (name == "N2") return n2();
+  if (name == "N2-NA") return n2_na();
+  if (name == "UW1") return uw1();
+  if (name == "UW3") return uw3();
+  if (name == "UW4-A") return uw4a();
+  if (name == "UW4-B") return uw4b();
+  PATHSEL_EXPECT(false, "unknown dataset name");
+  return d2();  // unreachable
+}
+
+}  // namespace pathsel::meas

@@ -1,0 +1,81 @@
+// The eight datasets of Table 1, regenerated.
+//
+// Two simulated "worlds" stand in for the two measurement eras:
+//  - world95: the 1995 Internet the Paxson D2/N2 traces saw — NSFNET
+//    transition period, fewer backbones, badly congested public exchanges,
+//    global host set;
+//  - world98: the 1998-99 North American Internet behind the UW datasets —
+//    more backbones, still-hot exchanges, a research backbone.
+// Each dataset reproduces its row of Table 1: host count, duration,
+// NA-vs-world host pool, collection discipline, rate-limit handling and
+// (roughly) measurement count.  D2-NA and N2-NA are subsets of D2/N2
+// restricted to the North American hosts, exactly as in the paper.
+//
+// CatalogConfig.scale shrinks trace durations for fast tests; 1.0 regenerates
+// full-size datasets.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "meas/collector.h"
+#include "meas/dataset.h"
+#include "sim/network.h"
+
+namespace pathsel::meas {
+
+struct CatalogConfig {
+  std::uint64_t seed = 1999;
+  /// Multiplies every trace duration (and hence measurement count).
+  double scale = 1.0;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(CatalogConfig config = {});
+
+  /// The two simulated worlds (lazily constructed, cached).
+  [[nodiscard]] const sim::Network& world95();
+  [[nodiscard]] const sim::Network& world98();
+
+  // The datasets (lazily collected, cached).
+  [[nodiscard]] const Dataset& d2();
+  [[nodiscard]] const Dataset& d2_na();
+  [[nodiscard]] const Dataset& n2();
+  [[nodiscard]] const Dataset& n2_na();
+  [[nodiscard]] const Dataset& uw1();
+  [[nodiscard]] const Dataset& uw3();
+  [[nodiscard]] const Dataset& uw4a();
+  [[nodiscard]] const Dataset& uw4b();
+
+  /// Lookup by the paper's dataset names ("D2", "D2-NA", "N2", "N2-NA",
+  /// "UW1", "UW3", "UW4-A", "UW4-B").  Aborts on unknown names.
+  [[nodiscard]] const Dataset& by_name(std::string_view name);
+
+  /// Restriction of a dataset to measurements between the given hosts.
+  [[nodiscard]] static Dataset subset(const Dataset& parent, std::string name,
+                                      const std::vector<topo::HostId>& keep);
+
+ private:
+  [[nodiscard]] Duration scaled(Duration d) const;
+  [[nodiscard]] std::vector<topo::HostId> pick_hosts(
+      const sim::Network& net, std::size_t count, std::size_t na_count,
+      bool exclude_rate_limited, std::uint64_t stream);
+
+  CatalogConfig config_;
+  std::unique_ptr<sim::Network> world95_;
+  std::unique_ptr<sim::Network> world98_;
+  std::optional<Dataset> d2_;
+  std::optional<Dataset> d2_na_;
+  std::optional<Dataset> n2_;
+  std::optional<Dataset> n2_na_;
+  std::optional<Dataset> uw1_;
+  std::optional<Dataset> uw3_;
+  std::optional<Dataset> uw4a_;
+  std::optional<Dataset> uw4b_;
+  std::vector<topo::HostId> uw4_hosts_;
+};
+
+}  // namespace pathsel::meas

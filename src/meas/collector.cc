@@ -1,0 +1,164 @@
+#include "meas/collector.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace pathsel::meas {
+
+namespace {
+
+class Campaign {
+ public:
+  Campaign(const sim::Network& network, std::vector<topo::HostId> hosts,
+           const CollectorConfig& config, std::string name)
+      : net_{network},
+        config_{config},
+        rng_{config.seed},
+        availability_{config.availability, network.topology().host_count(),
+                      config.duration} {
+    dataset_.name = std::move(name);
+    dataset_.kind = config.kind;
+    dataset_.duration = config.duration;
+    dataset_.hosts = std::move(hosts);
+    dataset_.first_sample_loss_only = config.first_sample_loss_only;
+    PATHSEL_EXPECT(dataset_.hosts.size() >= 2, "campaign needs >= 2 hosts");
+
+    for (const topo::HostId h : dataset_.hosts) {
+      if (config_.allow_rate_limited_targets ||
+          !net_.topology().host(h).icmp_rate_limited) {
+        targets_.push_back(h);
+      }
+    }
+    PATHSEL_EXPECT(targets_.size() >= 2, "campaign needs >= 2 targets");
+  }
+
+  Dataset run() {
+    const SimTime end = SimTime::start() + config_.duration;
+    switch (config_.discipline) {
+      case Discipline::kUniformPerServer:
+        for (std::size_t i = 0; i < dataset_.hosts.size(); ++i) {
+          server_rngs_.push_back(rng_.fork(i));
+        }
+        for (std::size_t i = 0; i < dataset_.hosts.size(); ++i) {
+          schedule_server_probe(i, SimTime::start());
+        }
+        break;
+      case Discipline::kExponentialPair:
+        schedule_next_pair();
+        break;
+      case Discipline::kEpisodeFullMesh:
+        schedule_next_episode();
+        break;
+    }
+    queue_.run_until(end);
+    std::sort(dataset_.measurements.begin(), dataset_.measurements.end(),
+              [](const Measurement& a, const Measurement& b) {
+                return a.when < b.when;
+              });
+    return std::move(dataset_);
+  }
+
+ private:
+  void measure(topo::HostId src, topo::HostId dst, SimTime t,
+               std::int32_t episode) {
+    Measurement m;
+    m.when = t;
+    m.src = src;
+    m.dst = dst;
+    m.episode = episode;
+    if (!availability_.is_up(src, t) || !availability_.is_up(dst, t)) {
+      m.completed = false;  // unreachable server: attempt recorded, no data
+      dataset_.measurements.push_back(std::move(m));
+      return;
+    }
+    if (config_.kind == MeasurementKind::kTraceroute) {
+      const sim::TracerouteResult r = net_.traceroute(src, dst, t);
+      m.completed = r.completed;
+      m.samples = r.samples;
+      m.as_path = r.as_path;
+    } else {
+      const sim::TcpTransferResult r = net_.tcp_transfer(src, dst, t);
+      m.completed = r.completed;
+      m.bandwidth_kBps = r.bandwidth_kBps;
+      m.tcp_rtt_ms = r.rtt_ms;
+      m.tcp_loss_rate = r.loss_rate;
+    }
+    dataset_.measurements.push_back(std::move(m));
+  }
+
+  // UW1: per-server uniform schedule; target drawn from the target pool.
+  // Interval ~ U[0, 2 * mean] (the paper notes this lacks the exponential
+  // distribution's protection against anticipation).
+  void schedule_server_probe(std::size_t server_idx, SimTime now) {
+    Rng& server_rng = server_rngs_[server_idx];
+    const topo::HostId server = dataset_.hosts[server_idx];
+    const double wait_s =
+        server_rng.uniform(0.0, 2.0 * config_.mean_interval.total_seconds());
+    queue_.schedule_at(now + Duration::seconds(wait_s),
+                       [this, server_idx, server](SimTime t) {
+                         Rng& rng = server_rngs_[server_idx];
+                         topo::HostId target = server;
+                         while (target == server) {
+                           target = targets_[rng.index(targets_.size())];
+                         }
+                         measure(server, target, t, -1);
+                         schedule_server_probe(server_idx, t);
+                       });
+  }
+
+  void schedule_next_pair() {
+    const double wait_s =
+        rng_.exponential(config_.mean_interval.total_seconds());
+    queue_.schedule_after(Duration::seconds(wait_s), [this](SimTime t) {
+      const topo::HostId src =
+          dataset_.hosts[rng_.index(dataset_.hosts.size())];
+      topo::HostId dst = src;
+      while (dst == src) {
+        dst = targets_[rng_.index(targets_.size())];
+      }
+      measure(src, dst, t, -1);
+      schedule_next_pair();
+    });
+  }
+
+  void schedule_next_episode() {
+    const double wait_s =
+        rng_.exponential(config_.mean_interval.total_seconds());
+    queue_.schedule_after(Duration::seconds(wait_s), [this](SimTime t) {
+      const std::int32_t episode = dataset_.episode_count++;
+      // Every ordered pair, spread across the episode window.
+      for (const topo::HostId src : dataset_.hosts) {
+        for (const topo::HostId dst : dataset_.hosts) {
+          if (src == dst) continue;
+          const double offset_s =
+              rng_.uniform(0.0, config_.episode_window.total_seconds());
+          queue_.schedule_at(t + Duration::seconds(offset_s),
+                             [this, src, dst, episode](SimTime when) {
+                               measure(src, dst, when, episode);
+                             });
+        }
+      }
+      schedule_next_episode();
+    });
+  }
+
+  const sim::Network& net_;
+  CollectorConfig config_;
+  Rng rng_;
+  HostAvailability availability_;
+  sim::EventQueue queue_;
+  Dataset dataset_;
+  std::vector<topo::HostId> targets_;
+  std::vector<Rng> server_rngs_;
+};
+
+}  // namespace
+
+Dataset collect(const sim::Network& network, std::vector<topo::HostId> hosts,
+                const CollectorConfig& config, std::string name) {
+  Campaign campaign{network, std::move(hosts), config, std::move(name)};
+  return campaign.run();
+}
+
+}  // namespace pathsel::meas

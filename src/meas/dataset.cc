@@ -1,0 +1,25 @@
+#include "meas/dataset.h"
+
+#include <unordered_set>
+
+namespace pathsel::meas {
+
+std::size_t Dataset::covered_paths() const {
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& m : measurements) {
+    if (!m.completed) continue;
+    seen.insert(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src.value()))
+         << 32) |
+        static_cast<std::uint32_t>(m.dst.value()));
+  }
+  return seen.size();
+}
+
+std::size_t Dataset::completed_count() const {
+  std::size_t n = 0;
+  for (const auto& m : measurements) n += m.completed ? 1 : 0;
+  return n;
+}
+
+}  // namespace pathsel::meas

@@ -1,0 +1,65 @@
+// Measurement records and datasets.
+//
+// A Dataset is what a measurement campaign produces: the host list and a
+// flat, time-ordered list of measurements between ordered host pairs.  This
+// mirrors the paper's five datasets (Table 1): traceroute campaigns record
+// three RTT samples per invocation plus the forward AS path; npd/tcpanaly
+// campaigns (N2) record the achieved bandwidth of a TCP transfer plus the
+// RTT/loss observed during it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "topo/ids.h"
+#include "util/sim_time.h"
+
+namespace pathsel::meas {
+
+enum class MeasurementKind { kTraceroute, kTcpTransfer };
+
+struct Measurement {
+  SimTime when;
+  topo::HostId src;
+  topo::HostId dst;
+  std::int32_t episode = -1;  // UW4-A episode index; -1 for other disciplines
+  bool completed = false;
+
+  // Traceroute payload.
+  std::array<sim::ProbeSample, 3> samples{};
+  std::vector<topo::AsId> as_path;
+
+  // TCP payload.
+  double bandwidth_kBps = 0.0;
+  double tcp_rtt_ms = 0.0;
+  double tcp_loss_rate = 0.0;
+};
+
+struct Dataset {
+  std::string name;
+  MeasurementKind kind = MeasurementKind::kTraceroute;
+  Duration duration;
+  std::vector<topo::HostId> hosts;
+  std::vector<Measurement> measurements;
+  /// D2-style correction: rate-limiting servers cannot be identified, so
+  /// only the first sample of each invocation counts toward loss (§4.2).
+  bool first_sample_loss_only = false;
+  /// Number of full-mesh episodes (UW4-A); 0 otherwise.
+  std::int32_t episode_count = 0;
+
+  /// Number of ordered host pairs with at least one completed measurement.
+  [[nodiscard]] std::size_t covered_paths() const;
+
+  /// Total completed measurements.
+  [[nodiscard]] std::size_t completed_count() const;
+
+  /// Potential ordered pairs: hosts * (hosts - 1).
+  [[nodiscard]] std::size_t potential_paths() const noexcept {
+    return hosts.size() * (hosts.size() - 1);
+  }
+};
+
+}  // namespace pathsel::meas

@@ -1,0 +1,173 @@
+#include "meas/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pathsel::meas {
+
+namespace {
+
+bool fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+void write_dataset(std::ostream& os, const Dataset& dataset) {
+  os << "pathsel-dataset v1\n";
+  os << "name " << dataset.name << '\n';
+  os << "kind "
+     << (dataset.kind == MeasurementKind::kTraceroute ? "traceroute" : "tcp")
+     << '\n';
+  os << "duration_ms " << dataset.duration.total_millis() << '\n';
+  os << "first_sample_loss_only " << (dataset.first_sample_loss_only ? 1 : 0)
+     << '\n';
+  os << "episodes " << dataset.episode_count << '\n';
+  os << "hosts " << dataset.hosts.size();
+  for (const auto h : dataset.hosts) os << ' ' << h.value();
+  os << '\n';
+
+  const char* const float_fmt_note = "";  // values use max_digits10 via ostream
+  (void)float_fmt_note;
+  os.precision(17);
+  for (const auto& m : dataset.measurements) {
+    os << "m " << m.when.since_start().total_millis() << ' ' << m.src.value()
+       << ' ' << m.dst.value() << ' ' << m.episode << ' '
+       << (m.completed ? 1 : 0);
+    if (dataset.kind == MeasurementKind::kTraceroute) {
+      for (const auto& s : m.samples) {
+        os << ' ' << (s.lost ? 1 : 0) << ' ' << s.rtt_ms;
+      }
+      os << ' ' << m.as_path.size();
+      for (const auto as : m.as_path) os << ' ' << as.value();
+    } else {
+      os << ' ' << m.bandwidth_kBps << ' ' << m.tcp_rtt_ms << ' '
+         << m.tcp_loss_rate;
+    }
+    os << '\n';
+  }
+}
+
+std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
+  std::string line;
+  auto next_line = [&is, &line]() -> bool {
+    return static_cast<bool>(std::getline(is, line));
+  };
+
+  if (!next_line() || line != "pathsel-dataset v1") {
+    fail(error, "missing or unsupported header");
+    return std::nullopt;
+  }
+
+  Dataset ds;
+  // Fixed header block in order.
+  auto expect_field = [&](const char* key, std::string& value) -> bool {
+    if (!next_line()) return fail(error, std::string("missing field ") + key);
+    std::istringstream ls{line};
+    std::string k;
+    ls >> k;
+    if (k != key) return fail(error, std::string("expected field ") + key);
+    std::getline(ls, value);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    return true;
+  };
+
+  std::string value;
+  if (!expect_field("name", value)) return std::nullopt;
+  ds.name = value;
+  if (!expect_field("kind", value)) return std::nullopt;
+  if (value == "traceroute") {
+    ds.kind = MeasurementKind::kTraceroute;
+  } else if (value == "tcp") {
+    ds.kind = MeasurementKind::kTcpTransfer;
+  } else {
+    fail(error, "unknown kind: " + value);
+    return std::nullopt;
+  }
+  if (!expect_field("duration_ms", value)) return std::nullopt;
+  ds.duration = Duration::millis(std::strtoll(value.c_str(), nullptr, 10));
+  if (!expect_field("first_sample_loss_only", value)) return std::nullopt;
+  ds.first_sample_loss_only = value == "1";
+  if (!expect_field("episodes", value)) return std::nullopt;
+  ds.episode_count = static_cast<std::int32_t>(std::strtol(value.c_str(), nullptr, 10));
+
+  if (!next_line()) {
+    fail(error, "missing hosts line");
+    return std::nullopt;
+  }
+  {
+    std::istringstream ls{line};
+    std::string key;
+    std::size_t count = 0;
+    if (!(ls >> key >> count) || key != "hosts") {
+      fail(error, "malformed hosts line");
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      std::int32_t id = 0;
+      if (!(ls >> id)) {
+        fail(error, "hosts line shorter than its count");
+        return std::nullopt;
+      }
+      ds.hosts.push_back(topo::HostId{id});
+    }
+  }
+
+  while (next_line()) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string tag;
+    ls >> tag;
+    if (tag != "m") {
+      fail(error, "unexpected line: " + line);
+      return std::nullopt;
+    }
+    Measurement m;
+    std::int64_t when_ms = 0;
+    std::int32_t src = 0;
+    std::int32_t dst = 0;
+    int completed = 0;
+    if (!(ls >> when_ms >> src >> dst >> m.episode >> completed)) {
+      fail(error, "malformed measurement line: " + line);
+      return std::nullopt;
+    }
+    m.when = SimTime::at(Duration::millis(when_ms));
+    m.src = topo::HostId{src};
+    m.dst = topo::HostId{dst};
+    m.completed = completed != 0;
+    if (ds.kind == MeasurementKind::kTraceroute) {
+      for (auto& s : m.samples) {
+        int lost = 0;
+        if (!(ls >> lost >> s.rtt_ms)) {
+          fail(error, "malformed traceroute samples: " + line);
+          return std::nullopt;
+        }
+        s.lost = lost != 0;
+      }
+      std::size_t as_count = 0;
+      if (!(ls >> as_count)) {
+        fail(error, "missing AS path length: " + line);
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < as_count; ++i) {
+        std::int32_t as = 0;
+        if (!(ls >> as)) {
+          fail(error, "AS path shorter than its count: " + line);
+          return std::nullopt;
+        }
+        m.as_path.push_back(topo::AsId{as});
+      }
+    } else {
+      if (!(ls >> m.bandwidth_kBps >> m.tcp_rtt_ms >> m.tcp_loss_rate)) {
+        fail(error, "malformed transfer fields: " + line);
+        return std::nullopt;
+      }
+    }
+    ds.measurements.push_back(std::move(m));
+  }
+  return ds;
+}
+
+}  // namespace pathsel::meas

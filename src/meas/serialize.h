@@ -1,0 +1,36 @@
+// Dataset serialization.
+//
+// Regenerated traces are shareable: a dataset round-trips through a simple
+// line-oriented text format (one header block, one line per measurement).
+// The reader is strict — a malformed file yields an error message, never a
+// partially filled dataset — so downstream analyses can trust loaded data.
+//
+//   pathsel-dataset v1
+//   name UW3
+//   kind traceroute            # or: tcp
+//   duration_ms 604800000
+//   first_sample_loss_only 0
+//   episodes 0
+//   hosts 3 0 5 9
+//   m <when_ms> <src> <dst> <episode> <completed>
+//     traceroute: ... <lost0> <rtt0> <lost1> <rtt1> <lost2> <rtt2> <n_as> <as...>
+//     tcp:        ... <bandwidth_kBps> <rtt_ms> <loss_rate>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "meas/dataset.h"
+
+namespace pathsel::meas {
+
+/// Writes the dataset; the stream's failbit reflects I/O errors.
+void write_dataset(std::ostream& os, const Dataset& dataset);
+
+/// Parses a dataset.  On failure returns nullopt and, if `error` is
+/// non-null, stores a human-readable reason.
+[[nodiscard]] std::optional<Dataset> read_dataset(std::istream& is,
+                                                  std::string* error = nullptr);
+
+}  // namespace pathsel::meas

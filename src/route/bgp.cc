@@ -1,0 +1,172 @@
+#include "route/bgp.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace pathsel::route {
+
+namespace {
+
+// True if `candidate` should replace `current` at an AS whose preferred
+// provider is `preferred` (may be invalid).  Both candidates already respect
+// export rules; this is pure route *selection*.
+bool better(const RouteEntry& candidate, const RouteEntry& current,
+            topo::AsId preferred) {
+  if (current.cls == RouteClass::kNone) return candidate.cls != RouteClass::kNone;
+  if (candidate.cls != current.cls) return candidate.cls < current.cls;
+  // Strict cost preference applies only among provider-learned routes.
+  if (candidate.cls == RouteClass::kProvider && preferred.valid()) {
+    const bool cand_pref = candidate.next_hop == preferred;
+    const bool cur_pref = current.next_hop == preferred;
+    if (cand_pref != cur_pref) return cand_pref;
+  }
+  if (candidate.path_length != current.path_length) {
+    return candidate.path_length < current.path_length;
+  }
+  return candidate.next_hop < current.next_hop;
+}
+
+}  // namespace
+
+namespace {
+
+std::uint64_t session_key(topo::AsId a, topo::AsId b) {
+  const auto lo = static_cast<std::uint32_t>(std::min(a, b).value());
+  const auto hi = static_cast<std::uint32_t>(std::max(a, b).value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+BgpTables::BgpTables(const topo::Topology& topology) : topo_{&topology} {
+  const std::size_t n = topology.as_count();
+  // A BGP session is live only while at least one physical link between the
+  // two ASes is up.
+  for (const auto& l : topology.links()) {
+    if (l.kind == topo::LinkKind::kIntraAs || l.down) continue;
+    live_sessions_.insert(session_key(topology.router(l.a).as,
+                                      topology.router(l.b).as));
+  }
+  table_.assign(n * n, RouteEntry{});
+  for (std::size_t d = 0; d < n; ++d) {
+    compute_for_destination(topo::AsId{static_cast<std::int32_t>(d)});
+  }
+}
+
+bool BgpTables::session_up(topo::AsId a, topo::AsId b) const {
+  return live_sessions_.contains(session_key(a, b));
+}
+
+RouteEntry& BgpTables::entry(topo::AsId at, topo::AsId dest) {
+  return table_[at.index() * topo_->as_count() + dest.index()];
+}
+
+const RouteEntry& BgpTables::route(topo::AsId at, topo::AsId dest) const {
+  PATHSEL_EXPECT(at.index() < topo_->as_count() &&
+                     dest.index() < topo_->as_count(),
+                 "BGP route: unknown AS");
+  return table_[at.index() * topo_->as_count() + dest.index()];
+}
+
+void BgpTables::compute_for_destination(topo::AsId dest) {
+  const auto& ases = topo_->ases();
+
+  // Phase 1: customer routes.  An AS has a customer route iff it can reach
+  // the destination by a chain of provider->customer edges (every hop
+  // descends).  The customer/provider digraph is acyclic, so iterating to a
+  // fixed point terminates; sweeps are bounded by the longest descending
+  // chain.
+  entry(dest, dest) = RouteEntry{RouteClass::kCustomer, 0, dest};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& as : ases) {
+      if (as.id == dest) continue;
+      for (const topo::AsId customer : as.customers) {
+        if (!session_up(as.id, customer)) continue;
+        const RouteEntry& via = entry(customer, dest);
+        if (via.cls != RouteClass::kCustomer && customer != dest) continue;
+        if (via.cls == RouteClass::kNone) continue;
+        const RouteEntry candidate{RouteClass::kCustomer, via.path_length + 1,
+                                   customer};
+        RouteEntry& mine = entry(as.id, dest);
+        // Within phase 1 everything is customer-class; preference reduces to
+        // length then id.
+        if (better(candidate, mine, topo::AsId{})) {
+          mine = candidate;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Phase 2: peer routes.  A peer advertises only customer routes (and
+  // itself), and a peer-learned route is never re-advertised to peers, so a
+  // single pass suffices.
+  for (const auto& as : ases) {
+    if (as.id == dest) continue;
+    RouteEntry& mine = entry(as.id, dest);
+    for (const topo::AsId peer : as.peers) {
+      if (!session_up(as.id, peer)) continue;
+      const RouteEntry& via = entry(peer, dest);
+      const bool exportable =
+          peer == dest || via.cls == RouteClass::kCustomer;
+      if (!exportable || via.cls == RouteClass::kNone) continue;
+      const RouteEntry candidate{RouteClass::kPeer, via.path_length + 1, peer};
+      if (better(candidate, mine, topo::AsId{})) mine = candidate;
+    }
+  }
+
+  // Phase 3: provider routes.  A provider advertises its selected route
+  // (whatever its class) to customers.  Fixed-point sweep; terminates
+  // because provider edges are acyclic and lengths only shrink.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& as : ases) {
+      if (as.id == dest) continue;
+      RouteEntry& mine = entry(as.id, dest);
+      for (const topo::AsId provider : as.providers) {
+        if (!session_up(as.id, provider)) continue;
+        const RouteEntry& via = entry(provider, dest);
+        if (via.cls == RouteClass::kNone && provider != dest) continue;
+        const int via_len = provider == dest ? 0 : via.path_length;
+        const RouteEntry candidate{RouteClass::kProvider, via_len + 1, provider};
+        if (better(candidate, mine, as.preferred_provider)) {
+          mine = candidate;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::vector<topo::AsId> BgpTables::as_path(topo::AsId from,
+                                           topo::AsId dest) const {
+  std::vector<topo::AsId> path;
+  topo::AsId cursor = from;
+  path.push_back(cursor);
+  while (cursor != dest) {
+    const RouteEntry& r = route(cursor, dest);
+    if (r.cls == RouteClass::kNone) return {};
+    cursor = r.next_hop;
+    PATHSEL_EXPECT(path.size() <= topo_->as_count(),
+                   "BGP path reconstruction loop");
+    path.push_back(cursor);
+  }
+  return path;
+}
+
+bool BgpTables::stubs_fully_connected() const {
+  for (const auto& a : topo_->ases()) {
+    if (a.tier != topo::AsTier::kStub) continue;
+    for (const auto& b : topo_->ases()) {
+      if (b.tier != topo::AsTier::kStub || a.id == b.id) continue;
+      if (route(a.id, b.id).cls == RouteClass::kNone) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pathsel::route

@@ -1,0 +1,60 @@
+// BGP-style inter-domain route computation.
+//
+// Implements the policy structure described in §3 of the paper: each AS
+// prefers routes learned from customers over routes learned from peers over
+// routes learned from providers (the economic Gao-Rexford preferences),
+// breaks ties by shortest AS path and then lowest next-hop AS id, and honors
+// an optional cost-driven strict provider preference.  Export follows the
+// valley-free rule: customer routes are advertised to everyone; peer and
+// provider routes only to customers.  The customer/provider digraph produced
+// by the generator is acyclic (strict tiers), so a Bellman-Ford sweep to a
+// fixed point computes the unique stable routing.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace pathsel::route {
+
+enum class RouteClass : std::uint8_t {
+  kCustomer = 0,  // learned from a customer (most preferred)
+  kPeer = 1,
+  kProvider = 2,
+  kNone = 3,  // destination unreachable under policy
+};
+
+struct RouteEntry {
+  RouteClass cls = RouteClass::kNone;
+  int path_length = 0;      // number of AS hops to the destination
+  topo::AsId next_hop{};    // neighbor AS the route was learned from
+};
+
+class BgpTables {
+ public:
+  explicit BgpTables(const topo::Topology& topology);
+
+  /// The route selected at `at` toward destination AS `dest`.
+  [[nodiscard]] const RouteEntry& route(topo::AsId at, topo::AsId dest) const;
+
+  /// AS-level path from `from` to `dest` (inclusive of both endpoints),
+  /// reconstructed by following selected next hops.  Empty if unreachable.
+  [[nodiscard]] std::vector<topo::AsId> as_path(topo::AsId from,
+                                                topo::AsId dest) const;
+
+  /// True if every stub AS can reach every other stub AS.
+  [[nodiscard]] bool stubs_fully_connected() const;
+
+ private:
+  void compute_for_destination(topo::AsId dest);
+
+  [[nodiscard]] RouteEntry& entry(topo::AsId at, topo::AsId dest);
+  [[nodiscard]] bool session_up(topo::AsId a, topo::AsId b) const;
+
+  const topo::Topology* topo_;
+  std::unordered_set<std::uint64_t> live_sessions_;  // AS pairs with a live link
+  std::vector<RouteEntry> table_;  // as_count x as_count, row = at, col = dest
+};
+
+}  // namespace pathsel::route

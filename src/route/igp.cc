@@ -1,0 +1,88 @@
+#include "route/igp.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/expect.h"
+
+namespace pathsel::route {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+IgpTables::IgpTables(const topo::Topology& topology) : topo_{&topology} {
+  const auto& routers = topology.routers();
+  local_.resize(routers.size());
+  std::vector<std::size_t> as_size(topology.as_count(), 0);
+  for (const auto& r : routers) {
+    local_[r.id.index()] = as_size[r.as.index()]++;
+  }
+
+  tables_.resize(routers.size());
+  for (const auto& src : routers) {
+    const std::size_t n = as_size[src.as.index()];
+    PerSource table;
+    table.dist.assign(n, kInf);
+    table.parent_link.assign(n, topo::LinkId{});
+    table.dist[local_[src.id.index()]] = 0.0;
+
+    using Entry = std::pair<double, topo::RouterId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, src.id);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > table.dist[local_[u.index()]]) continue;
+      for (const auto& inc : topology.neighbors(u)) {
+        const topo::Link& l = topology.link(inc.link);
+        if (l.kind != topo::LinkKind::kIntraAs || l.down) continue;
+        if (topology.router(inc.neighbor).as != src.as) continue;
+        const double nd = d + l.igp_metric;
+        auto& slot = table.dist[local_[inc.neighbor.index()]];
+        if (nd < slot) {
+          slot = nd;
+          table.parent_link[local_[inc.neighbor.index()]] = inc.link;
+          heap.emplace(nd, inc.neighbor);
+        }
+      }
+    }
+    tables_[src.id.index()] = std::move(table);
+  }
+}
+
+std::size_t IgpTables::local_index(topo::RouterId r) const {
+  PATHSEL_EXPECT(r.index() < local_.size(), "IGP: unknown router");
+  return local_[r.index()];
+}
+
+const IgpTables::PerSource& IgpTables::table_for(topo::RouterId from) const {
+  PATHSEL_EXPECT(from.index() < tables_.size(), "IGP: unknown router");
+  return tables_[from.index()];
+}
+
+double IgpTables::distance(topo::RouterId from, topo::RouterId to) const {
+  PATHSEL_EXPECT(topo_->router(from).as == topo_->router(to).as,
+                 "IGP distance requires routers of one AS");
+  return table_for(from).dist[local_index(to)];
+}
+
+std::vector<IgpTables::Hop> IgpTables::segment(topo::RouterId from,
+                                               topo::RouterId to) const {
+  PATHSEL_EXPECT(topo_->router(from).as == topo_->router(to).as,
+                 "IGP segment requires routers of one AS");
+  const PerSource& table = table_for(from);
+  PATHSEL_EXPECT(table.dist[local_index(to)] < kInf,
+                 "IGP segment: destination unreachable within AS");
+  std::vector<Hop> reversed;
+  topo::RouterId cursor = to;
+  while (cursor != from) {
+    const topo::LinkId via = table.parent_link[local_index(cursor)];
+    PATHSEL_EXPECT(via.valid(), "IGP segment: broken parent chain");
+    reversed.push_back(Hop{cursor, via});
+    cursor = topo_->other_end(via, cursor);
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace pathsel::route

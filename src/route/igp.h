@@ -1,0 +1,53 @@
+// Interior gateway protocol: per-AS all-pairs shortest paths.
+//
+// Each AS routes internally by Dijkstra over its own routers and intra-AS
+// links using the AS's IGP metric (propagation delay for tuned backbones,
+// hop count for small networks — §3).  The tables answer two questions for
+// the path-resolution layer: the router-level segment between two routers of
+// one AS, and the IGP distance used for hot-potato egress selection.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace pathsel::route {
+
+class IgpTables {
+ public:
+  explicit IgpTables(const topo::Topology& topology);
+
+  /// IGP distance between two routers of the same AS; infinity if the AS's
+  /// internal graph does not connect them (never true for generated
+  /// topologies).
+  [[nodiscard]] double distance(topo::RouterId from, topo::RouterId to) const;
+
+  /// Router-level hops from `from` to `to` within one AS, excluding `from`
+  /// itself, as (router, incoming link) pairs.  Empty when from == to.
+  struct Hop {
+    topo::RouterId router;
+    topo::LinkId via;
+  };
+  [[nodiscard]] std::vector<Hop> segment(topo::RouterId from,
+                                         topo::RouterId to) const;
+
+ private:
+  struct PerSource {
+    // Indexed by local router index within the AS.
+    std::vector<double> dist;
+    std::vector<topo::LinkId> parent_link;
+  };
+
+  [[nodiscard]] std::size_t local_index(topo::RouterId r) const;
+  [[nodiscard]] const PerSource& table_for(topo::RouterId from) const;
+
+  const topo::Topology* topo_;
+  // For each router (global index): its AS-local index.
+  std::vector<std::size_t> local_;
+  // For each router (global index): Dijkstra result sourced at that router,
+  // covering only routers of the same AS.
+  std::vector<PerSource> tables_;
+};
+
+}  // namespace pathsel::route

@@ -1,0 +1,149 @@
+#include "route/path.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/expect.h"
+
+namespace pathsel::route {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dijkstra over the full router graph with a per-link weight functor; shared
+// by the policy-free reference paths.
+template <typename WeightFn>
+RouterPath generic_router_dijkstra(const topo::Topology& topo,
+                                   topo::RouterId from, topo::RouterId to,
+                                   WeightFn weight) {
+  const std::size_t n = topo.router_count();
+  std::vector<double> dist(n, kInf);
+  std::vector<topo::LinkId> parent(n, topo::LinkId{});
+  dist[from.index()] = 0.0;
+
+  using Entry = std::pair<double, topo::RouterId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u.index()]) continue;
+    if (u == to) break;
+    for (const auto& inc : topo.neighbors(u)) {
+      if (topo.link(inc.link).down) continue;
+      const double nd = d + weight(topo.link(inc.link));
+      if (nd < dist[inc.neighbor.index()]) {
+        dist[inc.neighbor.index()] = nd;
+        parent[inc.neighbor.index()] = inc.link;
+        heap.emplace(nd, inc.neighbor);
+      }
+    }
+  }
+  if (dist[to.index()] == kInf) return {};
+
+  RouterPath path;
+  path.source = from;
+  std::vector<IgpTables::Hop> reversed;
+  topo::RouterId cursor = to;
+  while (cursor != from) {
+    const topo::LinkId via = parent[cursor.index()];
+    reversed.push_back(IgpTables::Hop{cursor, via});
+    cursor = topo.other_end(via, cursor);
+  }
+  path.hops.assign(reversed.rbegin(), reversed.rend());
+  // AS path from the router sequence (deduplicated consecutive ASes).
+  path.as_path.push_back(topo.router(from).as);
+  for (const auto& hop : path.hops) {
+    const topo::AsId as = topo.router(hop.router).as;
+    if (path.as_path.back() != as) path.as_path.push_back(as);
+  }
+  return path;
+}
+
+}  // namespace
+
+double RouterPath::propagation_delay_ms(const topo::Topology& topo) const {
+  double total = 0.0;
+  for (const auto& hop : hops) total += topo.link(hop.via).prop_delay_ms;
+  return total;
+}
+
+PathResolver::PathResolver(const topo::Topology& topology, const IgpTables& igp,
+                           const BgpTables& bgp, EgressPolicy policy)
+    : topo_{&topology}, igp_{&igp}, bgp_{&bgp}, policy_{policy} {}
+
+RouterPath PathResolver::resolve(topo::RouterId from, topo::RouterId to) const {
+  const topo::AsId src_as = topo_->router(from).as;
+  const topo::AsId dst_as = topo_->router(to).as;
+
+  RouterPath path;
+  path.source = from;
+  path.as_path = bgp_->as_path(src_as, dst_as);
+  if (path.as_path.empty()) return {};
+
+  topo::RouterId current = from;
+  for (std::size_t i = 0; i + 1 < path.as_path.size(); ++i) {
+    const topo::AsId here = path.as_path[i];
+    const topo::AsId next = path.as_path[i + 1];
+    const auto candidates = topo_->links_between(here, next);
+    PATHSEL_EXPECT(!candidates.empty(),
+                   "AS path crosses ASes with no physical link");
+
+    // Choose the egress link.
+    topo::LinkId chosen{};
+    double best_cost = kInf;
+    for (const topo::LinkId link_id : candidates) {
+      const topo::Link& l = topo_->link(link_id);
+      const bool a_side_here = topo_->router(l.a).as == here;
+      const topo::RouterId egress = a_side_here ? l.a : l.b;
+      const topo::RouterId ingress = a_side_here ? l.b : l.a;
+      double cost = igp_->distance(current, egress);
+      if (policy_ == EgressPolicy::kBestExit) {
+        // Global estimate: IGP distance to egress is measured in the local
+        // metric, so convert to a delay-like cost by adding the crossing
+        // delay and the geographic lower bound from the far side to the
+        // destination.
+        cost += l.prop_delay_ms +
+                topo::propagation_delay_ms(topo_->router(ingress).location,
+                                           topo_->router(to).location);
+      }
+      if (cost < best_cost ||
+          (cost == best_cost && (!chosen.valid() || link_id < chosen))) {
+        best_cost = cost;
+        chosen = link_id;
+      }
+    }
+    PATHSEL_EXPECT(chosen.valid(), "no usable egress link");
+
+    const topo::Link& l = topo_->link(chosen);
+    const bool a_side_here = topo_->router(l.a).as == here;
+    const topo::RouterId egress = a_side_here ? l.a : l.b;
+    const topo::RouterId ingress = a_side_here ? l.b : l.a;
+
+    for (const auto& hop : igp_->segment(current, egress)) {
+      path.hops.push_back(hop);
+    }
+    path.hops.push_back(IgpTables::Hop{ingress, chosen});
+    current = ingress;
+  }
+
+  for (const auto& hop : igp_->segment(current, to)) {
+    path.hops.push_back(hop);
+  }
+  return path;
+}
+
+RouterPath optimal_delay_path(const topo::Topology& topo, topo::RouterId from,
+                              topo::RouterId to) {
+  return generic_router_dijkstra(
+      topo, from, to, [](const topo::Link& l) { return l.prop_delay_ms; });
+}
+
+RouterPath min_hop_path(const topo::Topology& topo, topo::RouterId from,
+                        topo::RouterId to) {
+  return generic_router_dijkstra(topo, from, to,
+                                 [](const topo::Link&) { return 1.0; });
+}
+
+}  // namespace pathsel::route

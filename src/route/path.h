@@ -1,0 +1,69 @@
+// Host-to-host path resolution.
+//
+// Combines BGP AS-level routes with per-AS IGP segments into the router-level
+// hop list a packet actually traverses.  Egress selection between adjacent
+// ASes is hot-potato ("early-exit", §3) by default: the packet leaves the
+// current AS at the exchange closest (by IGP metric) to where it currently
+// is, whether or not that is best for the destination.  A best-exit variant
+// is provided for the what-if ablation.
+//
+// The same header exposes policy-free reference routing (global
+// minimum-propagation-delay and minimum-hop paths over the raw router graph)
+// used by the what_if_policies example to decompose routing inefficiency.
+#pragma once
+
+#include <vector>
+
+#include "route/bgp.h"
+#include "route/igp.h"
+#include "topo/topology.h"
+
+namespace pathsel::route {
+
+/// A resolved router-level path.  `hops` excludes the source router; each
+/// hop names the router reached and the link crossed to reach it.
+struct RouterPath {
+  topo::RouterId source{};
+  std::vector<IgpTables::Hop> hops;
+  std::vector<topo::AsId> as_path;
+
+  [[nodiscard]] bool valid() const noexcept { return source.valid(); }
+  [[nodiscard]] std::size_t hop_count() const noexcept { return hops.size(); }
+
+  /// Sum of one-way propagation delays over all crossed links.
+  [[nodiscard]] double propagation_delay_ms(const topo::Topology& topo) const;
+};
+
+enum class EgressPolicy {
+  kEarlyExit,  // hot-potato: nearest egress by IGP metric (the Internet default)
+  kBestExit,   // pick the egress minimizing a global distance estimate
+};
+
+class PathResolver {
+ public:
+  PathResolver(const topo::Topology& topology, const IgpTables& igp,
+               const BgpTables& bgp,
+               EgressPolicy policy = EgressPolicy::kEarlyExit);
+
+  /// The default (policy-routed) path between two routers; an invalid path
+  /// (source id invalid) if BGP has no route.
+  [[nodiscard]] RouterPath resolve(topo::RouterId from, topo::RouterId to) const;
+
+ private:
+  const topo::Topology* topo_;
+  const IgpTables* igp_;
+  const BgpTables* bgp_;
+  EgressPolicy policy_;
+};
+
+/// Globally optimal reference paths, ignoring all policy:
+/// minimum total propagation delay over the raw router graph.
+[[nodiscard]] RouterPath optimal_delay_path(const topo::Topology& topo,
+                                            topo::RouterId from,
+                                            topo::RouterId to);
+
+/// Minimum router-hop-count path over the raw router graph.
+[[nodiscard]] RouterPath min_hop_path(const topo::Topology& topo,
+                                      topo::RouterId from, topo::RouterId to);
+
+}  // namespace pathsel::route

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include "util/expect.h"
+
+namespace pathsel::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  PATHSEL_EXPECT(!(t < now_), "cannot schedule an event in the past");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(Duration d, Callback cb) {
+  schedule_at(now_ + d, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Callback may schedule more events; move it out before popping.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ev.cb(now_);
+  return true;
+}
+
+void EventQueue::run_until(SimTime end) {
+  while (!heap_.empty() && !(end < heap_.top().t)) step();
+  if (now_ < end) now_ = end;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace pathsel::sim

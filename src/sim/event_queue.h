@@ -1,0 +1,58 @@
+// Discrete-event scheduler.
+//
+// Drives the measurement collectors: control hosts schedule probe requests at
+// random intervals; each event fires at a simulated instant.  Events at equal
+// times run in scheduling order (a stable tie-break keeps runs reproducible).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace pathsel::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules a callback at an absolute time >= now().
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedules relative to the current simulated time.
+  void schedule_after(Duration d, Callback cb);
+
+  /// Runs the earliest pending event; returns false if none are pending.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is after `end`.
+  void run_until(SimTime end);
+
+  /// Runs until the queue drains.
+  void run_all();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return b.t < a.t;
+      return b.seq < a.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pathsel::sim

@@ -1,0 +1,25 @@
+#include "sim/tcp_model.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace pathsel::sim {
+
+double mathis_bandwidth_kBps(double rtt_ms, double loss_rate, double mss_bytes) {
+  PATHSEL_EXPECT(rtt_ms > 0.0, "mathis: rtt must be positive");
+  PATHSEL_EXPECT(loss_rate > 0.0, "mathis: loss rate must be positive");
+  const double rtt_s = rtt_ms / 1000.0;
+  const double bytes_per_s = (mss_bytes / rtt_s) * kMathisC / std::sqrt(loss_rate);
+  return bytes_per_s / 1000.0;
+}
+
+double mathis_self_loss(double rtt_ms, double bandwidth_kBps, double mss_bytes) {
+  PATHSEL_EXPECT(rtt_ms > 0.0 && bandwidth_kBps > 0.0 && mss_bytes > 0.0,
+                 "mathis_self_loss: arguments must be positive");
+  const double rtt_s = rtt_ms / 1000.0;
+  const double ratio = kMathisC * mss_bytes / (rtt_s * bandwidth_kBps * 1000.0);
+  return ratio * ratio;
+}
+
+}  // namespace pathsel::sim

@@ -1,0 +1,27 @@
+// Macroscopic TCP throughput model.
+//
+// The paper computes synthetic-path bandwidth with the Mathis et al. model
+// [MSM97]: BW = (MSS / RTT) * C / sqrt(p), C = sqrt(3/2).  We use the same
+// model both to synthesize the N2-style "measured" transfer bandwidths in
+// the simulator (where a TCP flow drives loss up until its throughput meets
+// the available bandwidth) and, in the analysis layer, to compose alternate
+// path bandwidths from RTT and loss exactly as §5 does.
+#pragma once
+
+namespace pathsel::sim {
+
+inline constexpr double kMathisC = 1.224744871391589;  // sqrt(3/2)
+inline constexpr double kDefaultMssBytes = 1460.0;
+
+/// Throughput in kilobytes per second (the paper's Figure 4/5 unit).
+/// Requires rtt_ms > 0 and loss_rate > 0.
+[[nodiscard]] double mathis_bandwidth_kBps(double rtt_ms, double loss_rate,
+                                           double mss_bytes = kDefaultMssBytes);
+
+/// Inverse of the model in p: the loss rate at which a TCP flow's Mathis
+/// throughput equals `bandwidth_kBps`.  This is the loss a saturating sender
+/// itself induces at the bottleneck.  Requires positive arguments.
+[[nodiscard]] double mathis_self_loss(double rtt_ms, double bandwidth_kBps,
+                                      double mss_bytes = kDefaultMssBytes);
+
+}  // namespace pathsel::sim

@@ -1,0 +1,66 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+
+#include "stats/quantile.h"
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values)
+    : values_{std::move(values)}, sorted_{false} {}
+
+void EmpiricalCdf::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  PATHSEL_EXPECT(!values_.empty(), "CDF of empty sample");
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalCdf::fraction_above(double x) const {
+  return 1.0 - fraction_at_or_below(x);
+}
+
+double EmpiricalCdf::value_at_fraction(double q) const {
+  ensure_sorted();
+  return quantile_sorted(values_, q);
+}
+
+std::span<const double> EmpiricalCdf::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+Series EmpiricalCdf::to_series(std::string name, double trim_lo,
+                               double trim_hi) const {
+  PATHSEL_EXPECT(trim_lo >= 0.0 && trim_hi <= 1.0 && trim_lo < trim_hi,
+                 "invalid trim quantiles");
+  ensure_sorted();
+  Series s;
+  s.name = std::move(name);
+  const auto n = values_.size();
+  s.x.reserve(n);
+  s.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i + 1) / static_cast<double>(n);
+    if (frac < trim_lo || frac > trim_hi) continue;
+    s.x.push_back(values_[i]);
+    s.y.push_back(frac);
+  }
+  return s;
+}
+
+}  // namespace pathsel::stats

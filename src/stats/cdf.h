@@ -1,0 +1,54 @@
+// Empirical cumulative distribution functions.
+//
+// Every figure in the paper is a CDF across host pairs of some per-pair
+// quantity (difference or ratio of default vs. best alternate path metric).
+// EmpiricalCdf turns a bag of values into the plotted staircase, with the
+// paper's tail trimming ("we have trimmed our graphs to eliminate visual
+// scaling artifacts resulting from very long tails").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace pathsel::stats {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  void add(double v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Fraction of values <= x.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// Fraction of values strictly above x (e.g. fraction of pairs improved).
+  [[nodiscard]] double fraction_above(double x) const;
+
+  /// Value at cumulative fraction q (inverse CDF).
+  [[nodiscard]] double value_at_fraction(double q) const;
+
+  /// Sorted sample values.
+  [[nodiscard]] std::span<const double> sorted_values() const;
+
+  /// Produces a plottable series (x = value, y = cumulative fraction).  If
+  /// trim_lo/trim_hi are given, x values outside the [trim_lo, trim_hi]
+  /// quantile range are dropped, as the paper does for long tails; the y
+  /// values retain their untrimmed cumulative fractions so trimmed curves do
+  /// not reach 0/1, exactly as in the paper's figures.
+  [[nodiscard]] Series to_series(std::string name, double trim_lo = 0.0,
+                                 double trim_hi = 1.0) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace pathsel::stats

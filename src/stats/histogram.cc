@@ -1,0 +1,83 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+Histogram::Histogram(double origin, double bin_width, std::size_t bin_count)
+    : origin_{origin}, width_{bin_width}, mass_(bin_count, 0.0) {
+  PATHSEL_EXPECT(bin_width > 0.0, "histogram bin width must be positive");
+  PATHSEL_EXPECT(bin_count > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  PATHSEL_EXPECT(weight >= 0.0, "histogram weight must be non-negative");
+  const double pos = (x - origin_) / width_;
+  std::size_t bin = 0;
+  if (pos > 0.0) {
+    bin = std::min(static_cast<std::size_t>(pos), mass_.size() - 1);
+  }
+  mass_[bin] += weight;
+  total_ += weight;
+}
+
+double Histogram::mass_at(std::size_t bin) const {
+  PATHSEL_EXPECT(bin < mass_.size(), "histogram bin out of range");
+  return mass_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  PATHSEL_EXPECT(bin < mass_.size(), "histogram bin out of range");
+  return origin_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  PATHSEL_EXPECT(total_ > 0.0, "quantile of empty histogram");
+  PATHSEL_EXPECT(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+  const double target = q * total_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (cum + mass_[i] >= target) {
+      const double within =
+          mass_[i] > 0.0 ? (target - cum) / mass_[i] : 0.5;
+      return origin_ + (static_cast<double>(i) + within) * width_;
+    }
+    cum += mass_[i];
+  }
+  return origin_ + static_cast<double>(mass_.size()) * width_;
+}
+
+double Histogram::mean() const {
+  PATHSEL_EXPECT(total_ > 0.0, "mean of empty histogram");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    acc += mass_[i] * bin_center(i);
+  }
+  return acc / total_;
+}
+
+Histogram Histogram::convolve(const Histogram& x, const Histogram& y) {
+  PATHSEL_EXPECT(std::fabs(x.width_ - y.width_) < 1e-12 * x.width_,
+                 "convolution requires equal bin widths");
+  PATHSEL_EXPECT(x.total_ > 0.0 && y.total_ > 0.0,
+                 "convolution of empty histogram");
+  Histogram out{x.origin_ + y.origin_, x.width_,
+                x.mass_.size() + y.mass_.size() - 1};
+  // Normalize so the result is a probability distribution regardless of the
+  // input sample counts.
+  const double scale = 1.0 / (x.total_ * y.total_);
+  for (std::size_t i = 0; i < x.mass_.size(); ++i) {
+    if (x.mass_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < y.mass_.size(); ++j) {
+      if (y.mass_[j] == 0.0) continue;
+      out.mass_[i + j] += x.mass_[i] * y.mass_[j] * scale;
+    }
+  }
+  out.total_ = 1.0;
+  return out;
+}
+
+}  // namespace pathsel::stats

@@ -1,0 +1,52 @@
+// Fixed-bin histograms and discrete convolution.
+//
+// Section 6.1 of the paper compares the mean against the median as the
+// characteristic statistic.  The median of a synthetic (composed) path is the
+// median of a *sum* of independent per-hop random variables, which the paper
+// obtains by convolving the per-hop sample distributions.  Histogram is that
+// distribution representation; convolve() implements the composition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pathsel::stats {
+
+class Histogram {
+ public:
+  /// Bins of width `bin_width` starting at `origin`; values are clamped into
+  /// [origin, origin + bin_width * bin_count).
+  Histogram(double origin, double bin_width, std::size_t bin_count);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] double origin() const noexcept { return origin_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return mass_.size(); }
+  [[nodiscard]] double total_mass() const noexcept { return total_; }
+  [[nodiscard]] double mass_at(std::size_t bin) const;
+
+  /// Center value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// q-quantile of the binned distribution (linear within the bin).
+  /// Requires total_mass() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Mean of the binned distribution.  Requires total_mass() > 0.
+  [[nodiscard]] double mean() const;
+
+  /// Distribution of X + Y for independent X, Y.  Both inputs must use the
+  /// same bin width; the result's origin is the sum of origins and its bin
+  /// count covers the full support.
+  [[nodiscard]] static Histogram convolve(const Histogram& x, const Histogram& y);
+
+ private:
+  double origin_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> mass_;
+};
+
+}  // namespace pathsel::stats

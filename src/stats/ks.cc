@@ -1,0 +1,57 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+namespace {
+
+// Kolmogorov distribution complement Q(lambda) = 2 sum (-1)^{j-1} e^{-2 j^2 lambda^2}.
+double kolmogorov_q(double lambda) noexcept {
+  if (lambda < 1e-3) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  PATHSEL_EXPECT(!a.empty() && !b.empty(), "KS requires non-empty samples");
+  std::vector<double> sa{a.begin(), a.end()};
+  std::vector<double> sb{b.begin(), b.end()};
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+
+  KsResult r;
+  r.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_value = kolmogorov_q(lambda);
+  return r;
+}
+
+}  // namespace pathsel::stats

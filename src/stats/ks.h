@@ -1,0 +1,23 @@
+// Two-sample Kolmogorov-Smirnov statistic.
+//
+// The paper argues several times that two CDFs are "nearly identical"
+// (mean vs median, Figure 6) or "not dramatically shifted" (top-ten
+// removal, Figure 12).  The KS distance makes those claims quantitative:
+// D = sup_x |F1(x) - F2(x)|, with the large-sample p-value approximation
+// for the null hypothesis that both samples come from one distribution.
+#pragma once
+
+#include <span>
+
+namespace pathsel::stats {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F1 - F2|, in [0, 1]
+  double p_value = 1.0;    // asymptotic Kolmogorov approximation
+};
+
+/// Requires both samples non-empty.
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> a,
+                                     std::span<const double> b);
+
+}  // namespace pathsel::stats

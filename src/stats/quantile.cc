@@ -1,0 +1,29 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  PATHSEL_EXPECT(!sorted.empty(), "quantile of empty range");
+  PATHSEL_EXPECT(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> copy{values.begin(), values.end()};
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+}  // namespace pathsel::stats

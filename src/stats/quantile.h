@@ -1,0 +1,19 @@
+// Quantiles of sample vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pathsel::stats {
+
+/// Returns the q-quantile (q in [0, 1]) of a *sorted* non-empty range, using
+/// linear interpolation between order statistics (type-7, the R default).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Convenience: copies, sorts and delegates to quantile_sorted.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> values);
+
+}  // namespace pathsel::stats

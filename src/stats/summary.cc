@@ -1,0 +1,98 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const noexcept {
+  PATHSEL_EXPECT(n_ > 0, "mean of empty summary");
+  return mean_;
+}
+
+double Summary::min() const noexcept {
+  PATHSEL_EXPECT(n_ > 0, "min of empty summary");
+  return min_;
+}
+
+double Summary::max() const noexcept {
+  PATHSEL_EXPECT(n_ > 0, "max of empty summary");
+  return max_;
+}
+
+double Summary::variance() const noexcept {
+  PATHSEL_EXPECT(n_ > 1, "variance requires at least two samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::variance_of_mean() const noexcept {
+  return variance() / static_cast<double>(n_);
+}
+
+MeanEstimate MeanEstimate::from_summary(const Summary& s) noexcept {
+  PATHSEL_EXPECT(s.count() > 1, "MeanEstimate requires at least two samples");
+  const double vm = s.variance_of_mean();
+  return MeanEstimate{
+      .mean = s.mean(),
+      .var_of_mean = vm,
+      .dof_denom = vm * vm / static_cast<double>(s.count() - 1),
+  };
+}
+
+MeanEstimate MeanEstimate::operator+(const MeanEstimate& other) const noexcept {
+  return MeanEstimate{
+      .mean = mean + other.mean,
+      .var_of_mean = var_of_mean + other.var_of_mean,
+      .dof_denom = dof_denom + other.dof_denom,
+  };
+}
+
+MeanEstimate MeanEstimate::scaled(double k) const noexcept {
+  const double k2 = k * k;
+  return MeanEstimate{
+      .mean = mean * k,
+      .var_of_mean = var_of_mean * k2,
+      .dof_denom = dof_denom * k2 * k2,
+  };
+}
+
+double MeanEstimate::dof() const noexcept {
+  if (dof_denom <= 0.0) return 1.0;
+  return var_of_mean * var_of_mean / dof_denom;
+}
+
+}  // namespace pathsel::stats

@@ -1,0 +1,67 @@
+// Streaming sample summaries.
+//
+// Summary accumulates count/mean/variance/min/max with Welford's algorithm —
+// numerically stable and single-pass, which matters because datasets hold
+// hundreds of thousands of probe samples per trace.
+#pragma once
+
+#include <cstdint>
+
+namespace pathsel::stats {
+
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another summary (parallel Welford / Chan et al.).
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Requires count() > 0.
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Unbiased sample variance; requires count() > 1.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Variance of the sample mean (variance()/n); requires count() > 1.
+  [[nodiscard]] double variance_of_mean() const noexcept;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A point estimate of a mean with uncertainty, composable by addition.
+///
+/// For a directly measured path this is (sample mean, s^2/n) with n-1 degrees
+/// of freedom.  For a synthetic alternate path it is the sum of constituent
+/// estimates; degrees of freedom follow Welch-Satterthwaite, for which we
+/// carry the denominator term sum_i (var_of_mean_i^2 / dof_i).
+struct MeanEstimate {
+  double mean = 0.0;
+  double var_of_mean = 0.0;
+  double dof_denom = 0.0;
+
+  /// Builds the estimate for a directly measured sample set (count > 1).
+  [[nodiscard]] static MeanEstimate from_summary(const Summary& s) noexcept;
+
+  /// Sum of two independent estimates (additive metrics such as RTT).
+  [[nodiscard]] MeanEstimate operator+(const MeanEstimate& other) const noexcept;
+
+  /// The estimate of k * X (delta-method building block): variance scales by
+  /// k^2 and the Welch-Satterthwaite denominator by k^4.
+  [[nodiscard]] MeanEstimate scaled(double k) const noexcept;
+
+  /// Effective degrees of freedom (Welch-Satterthwaite).
+  [[nodiscard]] double dof() const noexcept;
+};
+
+}  // namespace pathsel::stats

@@ -1,0 +1,59 @@
+#include "stats/ttest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/tdist.h"
+#include "util/expect.h"
+
+namespace pathsel::stats {
+
+TTestResult welch_ttest(const MeanEstimate& default_path,
+                        const MeanEstimate& alternate,
+                        double confidence) noexcept {
+  PATHSEL_EXPECT(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  TTestResult r;
+  r.difference = default_path.mean - alternate.mean;
+
+  const double var = default_path.var_of_mean + alternate.var_of_mean;
+  if (var <= 0.0) {
+    // No variance at all: both paths were perfectly consistent.  With equal
+    // means (the loss-rate zero/zero case) the difference is exactly zero.
+    if (r.difference == 0.0) {
+      r.verdict = Significance::kZero;
+    } else {
+      r.verdict = r.difference > 0.0 ? Significance::kBetter
+                                     : Significance::kWorse;
+    }
+    return r;
+  }
+
+  const double dof_denom = default_path.dof_denom + alternate.dof_denom;
+  r.dof = dof_denom > 0.0 ? var * var / dof_denom : 1.0;
+  r.dof = std::max(r.dof, 1.0);
+
+  const double p = 1.0 - (1.0 - confidence) / 2.0;
+  r.half_width = student_t_quantile(p, r.dof) * std::sqrt(var);
+
+  if (r.difference - r.half_width > 0.0) {
+    r.verdict = Significance::kBetter;
+  } else if (r.difference + r.half_width < 0.0) {
+    r.verdict = Significance::kWorse;
+  } else {
+    r.verdict = Significance::kIndeterminate;
+  }
+  return r;
+}
+
+const char* to_string(Significance s) noexcept {
+  switch (s) {
+    case Significance::kBetter: return "better";
+    case Significance::kWorse: return "worse";
+    case Significance::kIndeterminate: return "indeterminate";
+    case Significance::kZero: return "zero";
+  }
+  return "?";
+}
+
+}  // namespace pathsel::stats

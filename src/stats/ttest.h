@@ -1,0 +1,37 @@
+// Welch's t-test between composed mean estimates.
+//
+// Tables 2 and 3 of the paper classify each host pair by whether the
+// difference between the default path's mean and the best alternate path's
+// mean is significantly above zero, below zero, or indeterminate at the 95%
+// confidence level; loss rate adds an "is zero" class for pairs with no
+// measured losses on either path.
+#pragma once
+
+#include "stats/summary.h"
+
+namespace pathsel::stats {
+
+enum class Significance {
+  kBetter,         // alternate significantly better (default - alternate > 0)
+  kWorse,          // alternate significantly worse
+  kIndeterminate,  // confidence interval crosses zero
+  kZero,           // both estimates exactly zero (loss-rate-only class)
+};
+
+struct TTestResult {
+  double difference = 0.0;  // default mean - alternate mean
+  double half_width = 0.0;  // t[.975; v] * stddev of the difference
+  double dof = 0.0;
+  Significance verdict = Significance::kIndeterminate;
+};
+
+/// Classifies `default_path - alternate` at the given confidence level
+/// (default 95%).  Both estimates must come from MeanEstimate composition so
+/// variance and Welch-Satterthwaite degrees of freedom are propagated.
+[[nodiscard]] TTestResult welch_ttest(const MeanEstimate& default_path,
+                                      const MeanEstimate& alternate,
+                                      double confidence = 0.95) noexcept;
+
+[[nodiscard]] const char* to_string(Significance s) noexcept;
+
+}  // namespace pathsel::stats

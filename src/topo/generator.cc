@@ -1,0 +1,397 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace pathsel::topo {
+
+namespace {
+
+// Era-appropriate circuit capacities (Mbps).
+constexpr double kT1 = 1.5;
+constexpr double kT3 = 45.0;
+constexpr double kOc3 = 155.0;
+constexpr double kOc12 = 622.0;
+
+double clamp_util(double u) noexcept { return std::clamp(u, 0.03, 0.95); }
+
+std::string label(const char* prefix, int i, const City& city) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%d.%.*s", prefix, i,
+                static_cast<int>(city.name.size()), city.name.data());
+  return buf;
+}
+
+double city_distance_km(std::size_t a, std::size_t b) {
+  return great_circle_km(cities()[a].location, cities()[b].location);
+}
+
+// City indices sorted by distance from `from`, nearest first.
+std::vector<std::size_t> by_distance(std::size_t from,
+                                     const std::vector<std::size_t>& pool) {
+  std::vector<std::size_t> sorted{pool};
+  std::sort(sorted.begin(), sorted.end(), [from](std::size_t a, std::size_t b) {
+    return city_distance_km(from, a) < city_distance_km(from, b);
+  });
+  return sorted;
+}
+
+// Builds ring + random chord intra-AS links over the given routers, ordered
+// geographically (by longitude) so the ring resembles a real backbone loop.
+void wire_backbone(Topology& topo, std::vector<RouterId> routers, Rng& rng,
+                   double capacity, double util_mean, double util_sd) {
+  if (routers.size() < 2) return;
+  std::sort(routers.begin(), routers.end(), [&topo](RouterId a, RouterId b) {
+    return topo.router(a).location.lon_deg < topo.router(b).location.lon_deg;
+  });
+  auto util = [&rng, util_mean, util_sd] {
+    return clamp_util(rng.normal(util_mean, util_sd));
+  };
+  if (routers.size() == 2) {
+    topo.add_link(routers[0], routers[1], LinkKind::kIntraAs, capacity, util());
+    return;
+  }
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    topo.add_link(routers[i], routers[(i + 1) % routers.size()],
+                  LinkKind::kIntraAs, capacity, util());
+  }
+  // Chords add internal path diversity (and let tuned IGPs shine).
+  const std::size_t chords = routers.size() / 2;
+  for (std::size_t c = 0; c < chords; ++c) {
+    const std::size_t i = rng.index(routers.size());
+    std::size_t j = rng.index(routers.size());
+    const std::size_t gap = i > j ? i - j : j - i;
+    if (gap < 2 || gap == routers.size() - 1) continue;  // ring already has it
+    topo.add_link(routers[i], routers[j], LinkKind::kIntraAs, capacity, util());
+  }
+}
+
+// Applies the AS's IGP policy to its intra-AS links (hop-count ASes use a
+// metric of 1 per link; delay-tuned ASes keep the propagation-delay metric
+// installed by add_link).
+void apply_igp_policy(Topology& topo, const AutonomousSystem& as) {
+  if (as.igp != IgpPolicy::kHopCount) return;
+  for (const Link& l : topo.links()) {
+    if (l.kind != LinkKind::kIntraAs) continue;
+    if (topo.router(l.a).as == as.id) {
+      topo.mutable_link(l.id).igp_metric = 1.0;
+    }
+  }
+}
+
+struct BackboneInfo {
+  AsId as;
+  std::map<std::size_t, RouterId> pop_by_city;
+};
+
+// Router of `info` nearest to the given city.
+RouterId nearest_pop(const BackboneInfo& info, std::size_t city) {
+  PATHSEL_EXPECT(!info.pop_by_city.empty(), "backbone has no PoPs");
+  RouterId best{};
+  double best_km = 0.0;
+  for (const auto& [pop_city, router] : info.pop_by_city) {
+    const double km = city_distance_km(city, pop_city);
+    if (!best.valid() || km < best_km) {
+      best = router;
+      best_km = km;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Topology generate_topology(const GeneratorConfig& config) {
+  PATHSEL_EXPECT(config.backbone_count >= 2, "need at least two backbones");
+  PATHSEL_EXPECT(config.regional_count >= 2, "need at least two regionals");
+  PATHSEL_EXPECT(config.stub_count >= 2, "need at least two stubs");
+
+  Topology topo;
+  Rng rng{config.seed};
+
+  // ---- city pools ----------------------------------------------------------
+  std::vector<std::size_t> na_pool;
+  std::vector<std::size_t> intl_pool;
+  std::vector<std::size_t> na_exchanges;
+  std::vector<std::size_t> intl_exchanges;
+  for (std::size_t i = 0; i < cities().size(); ++i) {
+    const City& c = cities()[i];
+    const bool na = c.region == Region::kNorthAmerica;
+    if (na) {
+      na_pool.push_back(i);
+      if (c.exchange_point) na_exchanges.push_back(i);
+    } else if (config.world) {
+      intl_pool.push_back(i);
+      if (c.exchange_point) intl_exchanges.push_back(i);
+    }
+  }
+
+  // Decide which exchange fabrics run hot (congested NAPs, §7.1).
+  std::map<std::size_t, bool> hot_exchange;
+  for (std::size_t city : na_exchanges) {
+    hot_exchange[city] = rng.bernoulli(config.hot_exchange_fraction);
+  }
+  for (std::size_t city : intl_exchanges) {
+    hot_exchange[city] = rng.bernoulli(config.hot_exchange_fraction);
+  }
+  auto exchange_util = [&](std::size_t city) {
+    return hot_exchange[city] ? rng.uniform(0.80, 0.93)
+                              : clamp_util(rng.uniform(
+                                    config.exchange_utilization_mean - 0.14,
+                                    config.exchange_utilization_mean + 0.06));
+  };
+
+  // ---- tier-1 backbones ----------------------------------------------------
+  std::vector<BackboneInfo> backbones;
+  for (int i = 0; i < config.backbone_count; ++i) {
+    const bool international = config.world && i < 2;
+    const AsId as = topo.add_as(AsTier::kBackbone, IgpPolicy::kDelay,
+                                "NSP-" + std::to_string(i));
+    BackboneInfo info{.as = as, .pop_by_city = {}};
+
+    // Every backbone is present at (most) NA exchanges plus extra PoP cities.
+    std::vector<std::size_t> pop_cities;
+    for (std::size_t x : na_exchanges) {
+      if (rng.bernoulli(0.85)) pop_cities.push_back(x);
+    }
+    if (pop_cities.size() < 3) {
+      pop_cities.assign(na_exchanges.begin(), na_exchanges.end());
+    }
+    std::vector<std::size_t> extra{na_pool};
+    rng.shuffle(std::span<std::size_t>{extra});
+    const std::size_t extra_count = 5 + rng.index(4);  // 5..8 more cities
+    for (std::size_t k = 0; k < extra.size() && pop_cities.size() < 3 + extra_count; ++k) {
+      if (std::find(pop_cities.begin(), pop_cities.end(), extra[k]) ==
+          pop_cities.end()) {
+        pop_cities.push_back(extra[k]);
+      }
+    }
+    if (international) {
+      for (std::size_t x : intl_exchanges) pop_cities.push_back(x);
+      std::vector<std::size_t> ipool{intl_pool};
+      rng.shuffle(std::span<std::size_t>{ipool});
+      for (std::size_t k = 0; k < std::min<std::size_t>(3, ipool.size()); ++k) {
+        if (std::find(pop_cities.begin(), pop_cities.end(), ipool[k]) ==
+            pop_cities.end()) {
+          pop_cities.push_back(ipool[k]);
+        }
+      }
+    }
+
+    std::vector<RouterId> routers;
+    for (std::size_t city : pop_cities) {
+      const RouterId r =
+          topo.add_router(as, city, label("nsp", i, cities()[city]));
+      info.pop_by_city.emplace(city, r);
+      routers.push_back(r);
+    }
+    wire_backbone(topo, routers, rng, kOc3, config.backbone_utilization_mean,
+                  0.10);
+    backbones.push_back(std::move(info));
+  }
+
+  // Backbone peering: full mesh, meeting at shared public exchange cities.
+  for (std::size_t i = 0; i < backbones.size(); ++i) {
+    for (std::size_t j = i + 1; j < backbones.size(); ++j) {
+      std::vector<std::size_t> common;
+      for (const auto& [city, router] : backbones[i].pop_by_city) {
+        if (cities()[city].exchange_point &&
+            backbones[j].pop_by_city.count(city) > 0) {
+          common.push_back(city);
+        }
+      }
+      topo.add_relation(backbones[i].as, backbones[j].as, AsRelation::kPeerOf);
+      if (common.empty()) {
+        // No shared exchange: private peering between the closest PoP pair.
+        const auto& [city_a, router_a] = *backbones[i].pop_by_city.begin();
+        topo.add_link(router_a, nearest_pop(backbones[j], city_a),
+                      LinkKind::kPrivatePeering, kOc3,
+                      clamp_util(rng.normal(0.4, 0.1)));
+        continue;
+      }
+      rng.shuffle(std::span<std::size_t>{common});
+      const std::size_t meet = std::min<std::size_t>(common.size(), 3);
+      for (std::size_t k = 0; k < meet; ++k) {
+        const std::size_t city = common[k];
+        topo.add_link(backbones[i].pop_by_city.at(city),
+                      backbones[j].pop_by_city.at(city),
+                      LinkKind::kPublicExchange, kT3, exchange_util(city));
+      }
+    }
+  }
+
+  // ---- research backbone (vBNS analog) -------------------------------------
+  BackboneInfo research{};
+  const bool build_research = config.research_member_fraction > 0.0;
+  if (build_research) {
+    const AsId as =
+        topo.add_as(AsTier::kBackbone, IgpPolicy::kDelay, "RESEARCH-NET");
+    research.as = as;
+    std::vector<std::size_t> pool{na_pool};
+    rng.shuffle(std::span<std::size_t>{pool});
+    std::vector<RouterId> routers;
+    const std::size_t pops = std::min<std::size_t>(pool.size(), 8);
+    for (std::size_t k = 0; k < pops; ++k) {
+      const RouterId r =
+          topo.add_router(as, pool[k], label("rsn", 0, cities()[pool[k]]));
+      research.pop_by_city.emplace(pool[k], r);
+      routers.push_back(r);
+    }
+    // Research links are fast and moderately loaded.
+    wire_backbone(topo, routers, rng, kOc12, config.research_utilization_mean,
+                  0.08);
+  }
+
+  // ---- tier-2 regionals -----------------------------------------------------
+  struct RegionalInfo {
+    AsId as;
+    std::size_t home_city = 0;
+    RouterId home_router{};
+  };
+  std::vector<RegionalInfo> regionals;
+  for (int i = 0; i < config.regional_count; ++i) {
+    const bool intl = config.world && !intl_pool.empty() &&
+                      rng.bernoulli(config.international_stub_fraction);
+    const auto& pool = intl ? intl_pool : na_pool;
+    const std::size_t home = pool[rng.index(pool.size())];
+    const IgpPolicy igp =
+        rng.bernoulli(0.5) ? IgpPolicy::kDelay : IgpPolicy::kHopCount;
+    const AsId as =
+        topo.add_as(AsTier::kRegional, igp, "REG-" + std::to_string(i));
+
+    // Home router plus up to two nearby PoPs.
+    std::vector<RouterId> routers;
+    const RouterId home_router =
+        topo.add_router(as, home, label("reg", i, cities()[home]));
+    routers.push_back(home_router);
+    const auto near = by_distance(home, pool);
+    const std::size_t extra = rng.index(3);  // 0..2 extra PoPs
+    for (std::size_t k = 1; k < near.size() && routers.size() <= extra; ++k) {
+      routers.push_back(
+          topo.add_router(as, near[k], label("reg", i, cities()[near[k]])));
+    }
+    for (std::size_t k = 1; k < routers.size(); ++k) {
+      topo.add_link(routers[0], routers[k], LinkKind::kIntraAs, kT3,
+                    clamp_util(rng.normal(0.35, 0.12)));
+    }
+
+    // Transit from one or two backbones, preferring nearby PoPs.
+    std::vector<std::size_t> order(backbones.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const RouterId ra = nearest_pop(backbones[a], home);
+      const RouterId rb = nearest_pop(backbones[b], home);
+      return city_distance_km(home, topo.router(ra).city) <
+             city_distance_km(home, topo.router(rb).city);
+    });
+    const std::size_t provider_count = rng.bernoulli(0.4) ? 2 : 1;
+    for (std::size_t k = 0; k < provider_count && k < order.size(); ++k) {
+      // Pick among the three nearest backbones to avoid determinism.
+      const std::size_t pick = std::min(order.size() - 1, k + rng.index(2));
+      const BackboneInfo& bb = backbones[order[pick]];
+      if (topo.adjacent(bb.as, as)) continue;
+      topo.add_relation(bb.as, as, AsRelation::kProviderOf);
+      topo.add_link(home_router, nearest_pop(bb, home), LinkKind::kTransit,
+                    kT3,
+                    clamp_util(rng.normal(config.transit_utilization_mean, 0.15)));
+    }
+    regionals.push_back(RegionalInfo{as, home, home_router});
+  }
+
+  // Occasional private peering between nearby regionals.
+  for (std::size_t i = 0; i < regionals.size(); ++i) {
+    if (!rng.bernoulli(0.3)) continue;
+    std::size_t best = i;
+    double best_km = 1e18;
+    for (std::size_t j = 0; j < regionals.size(); ++j) {
+      if (j == i || topo.adjacent(regionals[i].as, regionals[j].as)) continue;
+      const double km =
+          city_distance_km(regionals[i].home_city, regionals[j].home_city);
+      if (km < best_km) {
+        best = j;
+        best_km = km;
+      }
+    }
+    if (best != i) {
+      topo.add_relation(regionals[i].as, regionals[best].as, AsRelation::kPeerOf);
+      topo.add_link(regionals[i].home_router, regionals[best].home_router,
+                    LinkKind::kPrivatePeering, kT3,
+                    clamp_util(rng.normal(0.3, 0.1)));
+    }
+  }
+
+  // ---- stubs and hosts ------------------------------------------------------
+  for (int i = 0; i < config.stub_count; ++i) {
+    const bool intl = config.world && !intl_pool.empty() &&
+                      rng.bernoulli(config.international_stub_fraction);
+    const auto& pool = intl ? intl_pool : na_pool;
+    const std::size_t home = pool[rng.index(pool.size())];
+    const AsId as = topo.add_as(AsTier::kStub, IgpPolicy::kHopCount,
+                                "STUB-" + std::to_string(i));
+    const RouterId gw =
+        topo.add_router(as, home, label("stub", i, cities()[home]));
+
+    // Providers: nearest regionals (occasionally direct to a backbone).
+    std::vector<std::size_t> order(regionals.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return city_distance_km(home, regionals[a].home_city) <
+             city_distance_km(home, regionals[b].home_city);
+    });
+    auto attach_regional = [&](std::size_t which) {
+      const RegionalInfo& reg = regionals[order[which]];
+      if (topo.adjacent(reg.as, as)) return;
+      topo.add_relation(reg.as, as, AsRelation::kProviderOf);
+      const double capacity = rng.bernoulli(0.35) ? kT1 : kT3;
+      topo.add_link(gw, reg.home_router, LinkKind::kTransit, capacity,
+                    clamp_util(rng.normal(config.access_utilization_mean, 0.20)));
+    };
+    if (rng.bernoulli(0.15)) {
+      // Directly homed to a backbone.
+      const BackboneInfo& bb = backbones[rng.index(backbones.size())];
+      topo.add_relation(bb.as, as, AsRelation::kProviderOf);
+      topo.add_link(gw, nearest_pop(bb, home), LinkKind::kTransit, kT3,
+                    clamp_util(rng.normal(config.access_utilization_mean, 0.20)));
+    } else {
+      attach_regional(rng.index(std::min<std::size_t>(3, order.size())));
+    }
+    if (rng.bernoulli(config.multihomed_stub_fraction)) {
+      attach_regional(rng.index(std::min<std::size_t>(5, order.size())));
+    }
+
+    // Research backbone membership ("universities" on the vBNS analog).
+    if (build_research && !intl &&
+        rng.bernoulli(config.research_member_fraction)) {
+      topo.add_relation(research.as, as, AsRelation::kProviderOf);
+      topo.add_link(gw, nearest_pop(research, home), LinkKind::kTransit, kT3,
+                    clamp_util(rng.normal(config.research_utilization_mean,
+                                          0.08)));
+    }
+
+    // Cost-driven strict provider preference.
+    const auto& stub_as = topo.as_at(as);
+    if (stub_as.providers.size() > 1 &&
+        rng.bernoulli(config.cost_driven_preference_fraction)) {
+      topo.set_preferred_provider(
+          as, stub_as.providers[rng.index(stub_as.providers.size())]);
+    }
+
+    for (int h = 0; h < config.hosts_per_stub; ++h) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "svr-%.*s-%02d",
+                    static_cast<int>(cities()[home].name.size()),
+                    cities()[home].name.data(), i);
+      topo.add_host(gw, buf, rng.bernoulli(config.rate_limited_host_fraction));
+    }
+  }
+
+  for (const auto& as : topo.ases()) apply_igp_policy(topo, as);
+  return topo;
+}
+
+}  // namespace pathsel::topo

@@ -1,0 +1,70 @@
+// Tiered Internet topology generator.
+//
+// Builds a late-1990s-style Internet: a handful of tier-1 backbones (NSPs)
+// peering with each other at public exchange points, regional providers
+// buying transit from backbones, and stub edge networks (the traceroute
+// servers' home networks) buying transit from regionals or backbones.  The
+// generator also reproduces the structural sources of routing inefficiency
+// the paper discusses in §3 and §7:
+//   - public exchanges with high utilization (congested NAPs),
+//   - cost-driven provider preferences (local-pref overriding path length),
+//   - hop-count IGPs in small ASes,
+//   - an optional research backbone (vBNS-like) with excellent links that
+//     only interconnects its own customers.
+// Hot-potato (early-exit) egress selection is applied later, by the routing
+// layer.  All randomness is drawn from the seed in the config.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace pathsel::topo {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+
+  int backbone_count = 6;
+  int regional_count = 18;
+  int stub_count = 60;
+
+  /// Include non-North-American cities, ASes and hosts.
+  bool world = false;
+  /// Fraction of stubs placed outside North America when world is true.
+  double international_stub_fraction = 0.30;
+
+  /// Stubs with a second transit provider.
+  double multihomed_stub_fraction = 0.35;
+  /// Stubs whose (single) preferred provider is chosen by cost, not by AS
+  /// path length — modeled as a strict BGP local-pref.
+  double cost_driven_preference_fraction = 0.5;
+
+  /// Build a vBNS-like research backbone and attach this fraction of stubs
+  /// ("universities") to it as customers.  Zero disables it.
+  double research_member_fraction = 0.30;
+  /// Peak-hour utilization of research-backbone links.  Low values make the
+  /// research net a dominant shortcut and concentrate the alternate-path
+  /// effect in its member hosts; moderate values keep it one contributor
+  /// among many (the paper finds the effect is NOT concentrated, §7.1).
+  double research_utilization_mean = 0.25;
+
+  /// Mean peak-hour utilization knobs (per link class).
+  double exchange_utilization_mean = 0.72;   // public exchanges run hot
+  double transit_utilization_mean = 0.45;
+  double backbone_utilization_mean = 0.35;
+  double access_utilization_mean = 0.40;
+
+  /// Fraction of public exchange fabrics that are severely congested.
+  double hot_exchange_fraction = 0.4;
+
+  /// Hosts: traceroute servers attached to stub networks.
+  int hosts_per_stub = 1;
+  double rate_limited_host_fraction = 0.25;
+};
+
+/// Generates a connected topology; aborts (PATHSEL_EXPECT) only on config
+/// values that cannot produce a valid topology.
+[[nodiscard]] Topology generate_topology(const GeneratorConfig& config);
+
+}  // namespace pathsel::topo

@@ -1,0 +1,109 @@
+#include "topo/geo.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace pathsel::topo {
+
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fiber is ~2e5 km/s -> 200 km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+// Fiber paths are longer than great circles (conduits follow roads/rails and
+// undersea cable routes); 1.4 is a conventional planning factor.
+constexpr double kRouteIndirectness = 1.4;
+
+constexpr double deg2rad(double d) noexcept {
+  return d * std::numbers::pi / 180.0;
+}
+
+// North American cities first (the NA datasets draw only from this prefix);
+// exchange_point marks cities modeled as hosting a public exchange, after
+// the era's NAPs/MAEs (MAE-East = WDC, MAE-West = SJC, AADS = CHI, Sprint
+// NAP = NYC, plus LINX London and a Tokyo exchange for world datasets).
+constexpr std::array<City, 44> kCities{{
+    {"SEA", {47.61, -122.33}, Region::kNorthAmerica, false},
+    {"PDX", {45.52, -122.68}, Region::kNorthAmerica, false},
+    {"SFO", {37.77, -122.42}, Region::kNorthAmerica, false},
+    {"SJC", {37.34, -121.89}, Region::kNorthAmerica, true},
+    {"LAX", {34.05, -118.24}, Region::kNorthAmerica, false},
+    {"SAN", {32.72, -117.16}, Region::kNorthAmerica, false},
+    {"PHX", {33.45, -112.07}, Region::kNorthAmerica, false},
+    {"SLC", {40.76, -111.89}, Region::kNorthAmerica, false},
+    {"DEN", {39.74, -104.99}, Region::kNorthAmerica, false},
+    {"DFW", {32.78, -96.80}, Region::kNorthAmerica, true},
+    {"HOU", {29.76, -95.37}, Region::kNorthAmerica, false},
+    {"AUS", {30.27, -97.74}, Region::kNorthAmerica, false},
+    {"MSP", {44.98, -93.27}, Region::kNorthAmerica, false},
+    {"CHI", {41.88, -87.63}, Region::kNorthAmerica, true},
+    {"STL", {38.63, -90.20}, Region::kNorthAmerica, false},
+    {"MCI", {39.10, -94.58}, Region::kNorthAmerica, false},
+    {"DTW", {42.33, -83.05}, Region::kNorthAmerica, false},
+    {"CLE", {41.50, -81.69}, Region::kNorthAmerica, false},
+    {"ATL", {33.75, -84.39}, Region::kNorthAmerica, false},
+    {"MIA", {25.76, -80.19}, Region::kNorthAmerica, false},
+    {"MCO", {28.54, -81.38}, Region::kNorthAmerica, false},
+    {"BNA", {36.16, -86.78}, Region::kNorthAmerica, false},
+    {"RDU", {35.78, -78.64}, Region::kNorthAmerica, false},
+    {"WDC", {38.91, -77.04}, Region::kNorthAmerica, true},
+    {"PHL", {39.95, -75.17}, Region::kNorthAmerica, false},
+    {"NYC", {40.71, -74.01}, Region::kNorthAmerica, true},
+    {"BOS", {42.36, -71.06}, Region::kNorthAmerica, false},
+    {"PIT", {40.44, -80.00}, Region::kNorthAmerica, false},
+    {"YYZ", {43.65, -79.38}, Region::kNorthAmerica, false},
+    {"YUL", {45.50, -73.57}, Region::kNorthAmerica, false},
+    {"YVR", {49.28, -123.12}, Region::kNorthAmerica, false},
+    {"LON", {51.51, -0.13}, Region::kEurope, true},
+    {"PAR", {48.86, 2.35}, Region::kEurope, false},
+    {"AMS", {52.37, 4.90}, Region::kEurope, false},
+    {"FRA", {50.11, 8.68}, Region::kEurope, false},
+    {"STO", {59.33, 18.07}, Region::kEurope, false},
+    {"ZRH", {47.38, 8.54}, Region::kEurope, false},
+    {"TYO", {35.68, 139.69}, Region::kAsia, true},
+    {"SEL", {37.57, 126.98}, Region::kAsia, false},
+    {"HKG", {22.32, 114.17}, Region::kAsia, false},
+    {"SIN", {1.35, 103.82}, Region::kAsia, false},
+    {"SYD", {-33.87, 151.21}, Region::kOceania, false},
+    {"AKL", {-36.85, 174.76}, Region::kOceania, false},
+    {"GRU", {-23.55, -46.63}, Region::kSouthAmerica, false},
+}};
+
+constexpr std::size_t kNorthAmericanCount = 31;
+
+}  // namespace
+
+double great_circle_km(GeoPoint a, GeoPoint b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(GeoPoint a, GeoPoint b) noexcept {
+  return great_circle_km(a, b) * kRouteIndirectness / kFiberKmPerMs;
+}
+
+std::span<const City> cities() noexcept { return kCities; }
+
+std::span<const City> north_american_cities() noexcept {
+  return std::span<const City>{kCities.data(), kNorthAmericanCount};
+}
+
+const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kNorthAmerica: return "NA";
+    case Region::kEurope: return "EU";
+    case Region::kAsia: return "AS";
+    case Region::kOceania: return "OC";
+    case Region::kSouthAmerica: return "SA";
+  }
+  return "?";
+}
+
+}  // namespace pathsel::topo

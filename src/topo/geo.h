@@ -1,0 +1,45 @@
+// Geographic model.
+//
+// Propagation delay — the fixed component of round-trip time the paper
+// separates from queueing delay in §7.2 — is derived from great-circle
+// distance between router locations at roughly 2/3 the speed of light
+// (signal velocity in fiber), plus a small per-hop processing cost added by
+// the simulator.  Cities are a fixed catalog so topologies are reproducible.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace pathsel::topo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+enum class Region { kNorthAmerica, kEurope, kAsia, kOceania, kSouthAmerica };
+
+struct City {
+  std::string_view name;   // IATA-style short code
+  GeoPoint location;
+  Region region;
+  bool exchange_point;     // hosts a public inter-provider exchange (NAP/MAE)
+};
+
+/// Great-circle distance in kilometres (haversine).
+[[nodiscard]] double great_circle_km(GeoPoint a, GeoPoint b) noexcept;
+
+/// One-way propagation delay in milliseconds over fiber along the great
+/// circle, with a route-indirectness factor (fiber does not follow great
+/// circles).
+[[nodiscard]] double propagation_delay_ms(GeoPoint a, GeoPoint b) noexcept;
+
+/// The full city catalog.  North American cities come first.
+[[nodiscard]] std::span<const City> cities() noexcept;
+
+/// Subset views.
+[[nodiscard]] std::span<const City> north_american_cities() noexcept;
+
+[[nodiscard]] const char* to_string(Region r) noexcept;
+
+}  // namespace pathsel::topo

@@ -1,0 +1,48 @@
+// Strong identifier types for topology entities.
+//
+// Distinct wrapper types prevent the classic index-confusion bugs (passing a
+// host index where a router index is expected); they are trivially copyable
+// and hashable and cost nothing at runtime.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace pathsel::topo {
+
+namespace detail {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(std::int32_t value) noexcept : value_{value} {}
+
+  [[nodiscard]] constexpr std::int32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ >= 0; }
+
+  constexpr auto operator<=>(const Id&) const noexcept = default;
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+}  // namespace detail
+
+using AsId = detail::Id<struct AsTag>;
+using RouterId = detail::Id<struct RouterTag>;
+using LinkId = detail::Id<struct LinkTag>;
+using HostId = detail::Id<struct HostTag>;
+
+}  // namespace pathsel::topo
+
+template <typename Tag>
+struct std::hash<pathsel::topo::detail::Id<Tag>> {
+  std::size_t operator()(pathsel::topo::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

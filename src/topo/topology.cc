@@ -1,0 +1,160 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace pathsel::topo {
+
+AsId Topology::add_as(AsTier tier, IgpPolicy igp, std::string name) {
+  const AsId id{static_cast<std::int32_t>(ases_.size())};
+  AutonomousSystem as;
+  as.id = id;
+  as.tier = tier;
+  as.igp = igp;
+  as.name = std::move(name);
+  ases_.push_back(std::move(as));
+  return id;
+}
+
+RouterId Topology::add_router(AsId as, std::size_t city_index, std::string name) {
+  PATHSEL_EXPECT(as.index() < ases_.size(), "add_router: unknown AS");
+  PATHSEL_EXPECT(city_index < cities().size(), "add_router: unknown city");
+  const RouterId id{static_cast<std::int32_t>(routers_.size())};
+  routers_.push_back(Router{.id = id,
+                            .as = as,
+                            .city = city_index,
+                            .location = cities()[city_index].location,
+                            .name = std::move(name)});
+  ases_[as.index()].routers.push_back(id);
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(RouterId a, RouterId b, LinkKind kind,
+                          double capacity_mbps, double base_utilization) {
+  PATHSEL_EXPECT(a.index() < routers_.size() && b.index() < routers_.size(),
+                 "add_link: unknown router");
+  PATHSEL_EXPECT(a != b, "add_link: self-loop");
+  const bool same_as = routers_[a.index()].as == routers_[b.index()].as;
+  PATHSEL_EXPECT(same_as == (kind == LinkKind::kIntraAs),
+                 "add_link: kind inconsistent with endpoint ASes");
+  const LinkId id{static_cast<std::int32_t>(links_.size())};
+  Link link{.id = id,
+            .a = a,
+            .b = b,
+            .kind = kind,
+            .prop_delay_ms = propagation_delay_ms(routers_[a.index()].location,
+                                                  routers_[b.index()].location),
+            .capacity_mbps = capacity_mbps,
+            .base_utilization = base_utilization};
+  // Links within a city still have a small positive propagation delay.
+  link.prop_delay_ms = std::max(link.prop_delay_ms, 0.1);
+  link.igp_metric = link.prop_delay_ms;
+  // Trace time is PST (UTC-8, solar noon near longitude -120).
+  const double mean_lon = (routers_[a.index()].location.lon_deg +
+                           routers_[b.index()].location.lon_deg) / 2.0;
+  link.timezone_offset_hours = (mean_lon + 120.0) / 15.0;
+  links_.push_back(link);
+  adjacency_[a.index()].push_back(Incidence{b, id});
+  adjacency_[b.index()].push_back(Incidence{a, id});
+  return id;
+}
+
+HostId Topology::add_host(RouterId attachment, std::string name,
+                          bool icmp_rate_limited) {
+  PATHSEL_EXPECT(attachment.index() < routers_.size(), "add_host: unknown router");
+  const HostId id{static_cast<std::int32_t>(hosts_.size())};
+  const Router& r = routers_[attachment.index()];
+  hosts_.push_back(Host{.id = id,
+                        .attachment = attachment,
+                        .name = std::move(name),
+                        .region = cities()[r.city].region,
+                        .icmp_rate_limited = icmp_rate_limited});
+  return id;
+}
+
+void Topology::add_relation(AsId provider_or_peer, AsId other,
+                            AsRelation relation) {
+  PATHSEL_EXPECT(provider_or_peer.index() < ases_.size() &&
+                     other.index() < ases_.size(),
+                 "add_relation: unknown AS");
+  PATHSEL_EXPECT(provider_or_peer != other, "add_relation: self-relation");
+  auto& a = ases_[provider_or_peer.index()];
+  auto& b = ases_[other.index()];
+  if (relation == AsRelation::kProviderOf) {
+    a.customers.push_back(other);
+    b.providers.push_back(provider_or_peer);
+  } else {
+    a.peers.push_back(other);
+    b.peers.push_back(provider_or_peer);
+  }
+}
+
+void Topology::set_preferred_provider(AsId as, AsId provider) {
+  PATHSEL_EXPECT(as.index() < ases_.size(), "set_preferred_provider: unknown AS");
+  auto& entry = ases_[as.index()];
+  PATHSEL_EXPECT(std::find(entry.providers.begin(), entry.providers.end(),
+                           provider) != entry.providers.end(),
+                 "preferred provider must be an actual provider");
+  entry.preferred_provider = provider;
+}
+
+void Topology::set_link_down(LinkId link_id, bool down) {
+  mutable_link(link_id).down = down;
+}
+
+const AutonomousSystem& Topology::as_at(AsId id) const {
+  PATHSEL_EXPECT(id.index() < ases_.size(), "unknown AS id");
+  return ases_[id.index()];
+}
+
+const Router& Topology::router(RouterId id) const {
+  PATHSEL_EXPECT(id.index() < routers_.size(), "unknown router id");
+  return routers_[id.index()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  PATHSEL_EXPECT(id.index() < links_.size(), "unknown link id");
+  return links_[id.index()];
+}
+
+Link& Topology::mutable_link(LinkId id) {
+  PATHSEL_EXPECT(id.index() < links_.size(), "unknown link id");
+  return links_[id.index()];
+}
+
+const Host& Topology::host(HostId id) const {
+  PATHSEL_EXPECT(id.index() < hosts_.size(), "unknown host id");
+  return hosts_[id.index()];
+}
+
+const std::vector<Topology::Incidence>& Topology::neighbors(RouterId r) const {
+  PATHSEL_EXPECT(r.index() < adjacency_.size(), "unknown router id");
+  return adjacency_[r.index()];
+}
+
+std::vector<LinkId> Topology::links_between(AsId a, AsId b) const {
+  std::vector<LinkId> out;
+  for (const Link& l : links_) {
+    if (l.kind == LinkKind::kIntraAs || l.down) continue;
+    const AsId as_a = routers_[l.a.index()].as;
+    const AsId as_b = routers_[l.b.index()].as;
+    if ((as_a == a && as_b == b) || (as_a == b && as_b == a)) {
+      out.push_back(l.id);
+    }
+  }
+  return out;
+}
+
+bool Topology::adjacent(AsId a, AsId b) const {
+  return !links_between(a, b).empty();
+}
+
+RouterId Topology::other_end(LinkId link_id, RouterId from) const {
+  const Link& l = link(link_id);
+  PATHSEL_EXPECT(l.a == from || l.b == from, "other_end: router not on link");
+  return l.a == from ? l.b : l.a;
+}
+
+}  // namespace pathsel::topo

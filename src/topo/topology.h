@@ -1,0 +1,155 @@
+// The router-level Internet model.
+//
+// A Topology is a set of autonomous systems (ASes) in a customer/provider and
+// peering relationship graph, each AS owning routers placed in cities and
+// connected by intra-AS links; inter-AS links join border routers of
+// adjacent ASes, either privately or at public exchange points.  Measurement
+// hosts attach to routers of stub ASes.  The structure mirrors §3 of the
+// paper: a two-level routing hierarchy whose top level (BGP policy) is only
+// loosely coupled to performance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/geo.h"
+#include "topo/ids.h"
+
+namespace pathsel::topo {
+
+enum class AsTier {
+  kBackbone,  // tier-1 national provider (NSP)
+  kRegional,  // tier-2 regional provider
+  kStub,      // edge network (university, company)
+};
+
+/// How an AS sets its IGP link metrics (§3: small ASes use raw hop count,
+/// large ones tune metrics toward delay).
+enum class IgpPolicy { kDelay, kHopCount };
+
+/// Business relationship along an inter-AS link, from a's point of view.
+enum class AsRelation {
+  kProviderOf,  // a is provider, b is customer
+  kPeerOf,      // settlement-free peering
+};
+
+enum class LinkKind {
+  kIntraAs,    // both endpoints in the same AS
+  kTransit,    // customer/provider link
+  kPrivatePeering,
+  kPublicExchange,  // peering across a shared NAP/MAE fabric
+};
+
+struct Router {
+  RouterId id;
+  AsId as;
+  std::size_t city = 0;   // index into geo cities()
+  GeoPoint location;
+  std::string name;
+};
+
+struct Link {
+  LinkId id;
+  RouterId a;
+  RouterId b;
+  LinkKind kind = LinkKind::kIntraAs;
+  double prop_delay_ms = 0.0;   // one-way propagation delay
+  double capacity_mbps = 45.0;  // T3 default, era-appropriate
+  double base_utilization = 0.3;  // mean utilization at the daily peak-hour
+  double igp_metric = 1.0;      // metric used by the owning AS's IGP
+  /// Hours to add to trace-local time (PST) to get this link's local time;
+  /// derived from the endpoints' mean longitude so East-coast links peak
+  /// three hours before West-coast ones.
+  double timezone_offset_hours = 0.0;
+  /// A failed link: ignored by the IGP, by links_between / adjacent, and
+  /// therefore by BGP and path resolution.  Supports failure studies.
+  bool down = false;
+};
+
+struct AutonomousSystem {
+  AsId id;
+  AsTier tier = AsTier::kStub;
+  IgpPolicy igp = IgpPolicy::kHopCount;
+  std::string name;
+  std::vector<RouterId> routers;
+  std::vector<AsId> providers;
+  std::vector<AsId> customers;
+  std::vector<AsId> peers;
+  /// Cost-driven BGP local-pref: when valid, routes through this provider
+  /// are preferred over any other provider route regardless of AS-path
+  /// length (§3: "policies are driven by ... minimizing cost").
+  AsId preferred_provider{};
+};
+
+struct Host {
+  HostId id;
+  RouterId attachment;
+  std::string name;
+  Region region = Region::kNorthAmerica;
+  bool icmp_rate_limited = false;  // emulates rate-limiting traceroute servers
+};
+
+class Topology {
+ public:
+  // --- construction -------------------------------------------------------
+  AsId add_as(AsTier tier, IgpPolicy igp, std::string name);
+  RouterId add_router(AsId as, std::size_t city_index, std::string name);
+  LinkId add_link(RouterId a, RouterId b, LinkKind kind, double capacity_mbps,
+                  double base_utilization);
+  HostId add_host(RouterId attachment, std::string name, bool icmp_rate_limited);
+
+  /// Records a business relationship; also wires the AS adjacency lists.
+  void add_relation(AsId provider_or_peer, AsId other, AsRelation relation);
+
+  /// Marks `provider` as the strictly preferred provider of `as`.
+  void set_preferred_provider(AsId as, AsId provider);
+
+  /// Fails or repairs a link.
+  void set_link_down(LinkId link, bool down);
+
+  // --- access --------------------------------------------------------------
+  [[nodiscard]] std::size_t as_count() const noexcept { return ases_.size(); }
+  [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  [[nodiscard]] const AutonomousSystem& as_at(AsId id) const;
+  [[nodiscard]] const Router& router(RouterId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] Link& mutable_link(LinkId id);
+  [[nodiscard]] const Host& host(HostId id) const;
+
+  [[nodiscard]] const std::vector<AutonomousSystem>& ases() const noexcept {
+    return ases_;
+  }
+  [[nodiscard]] const std::vector<Router>& routers() const noexcept {
+    return routers_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+  [[nodiscard]] const std::vector<Host>& hosts() const noexcept { return hosts_; }
+
+  /// Links incident to a router, as (neighbor router, link) pairs.
+  struct Incidence {
+    RouterId neighbor;
+    LinkId link;
+  };
+  [[nodiscard]] const std::vector<Incidence>& neighbors(RouterId r) const;
+
+  /// All inter-AS links whose endpoints are in the two given ASes.
+  [[nodiscard]] std::vector<LinkId> links_between(AsId a, AsId b) const;
+
+  /// True if the two ASes share at least one inter-AS link.
+  [[nodiscard]] bool adjacent(AsId a, AsId b) const;
+
+  /// The other endpoint of a link.
+  [[nodiscard]] RouterId other_end(LinkId link, RouterId from) const;
+
+ private:
+  std::vector<AutonomousSystem> ases_;
+  std::vector<Router> routers_;
+  std::vector<Link> links_;
+  std::vector<Host> hosts_;
+  std::vector<std::vector<Incidence>> adjacency_;  // by router index
+};
+
+}  // namespace pathsel::topo

@@ -1,0 +1,29 @@
+// Lightweight invariant checking for library code.
+//
+// PATHSEL_EXPECT is used to state preconditions and invariants that indicate
+// a programming error when violated (Core Guidelines I.6/E.12 style).  It is
+// always on: the checks guard algorithmic invariants whose cost is trivial
+// next to the work they protect, and a silently-wrong measurement study is
+// worse than an aborted one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathsel::detail {
+
+[[noreturn]] inline void expect_failed(const char* cond, const char* file,
+                                       int line, const char* msg) {
+  std::fprintf(stderr, "pathsel: invariant violated: %s\n  at %s:%d\n  %s\n",
+               cond, file, line, msg);
+  std::abort();
+}
+
+}  // namespace pathsel::detail
+
+#define PATHSEL_EXPECT(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::pathsel::detail::expect_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

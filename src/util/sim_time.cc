@@ -1,0 +1,26 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace pathsel {
+
+std::string to_string(SimTime t) {
+  const std::int64_t total_s = t.since_start().total_millis() / 1000;
+  const std::int64_t day = total_s / 86400;
+  const std::int64_t in_day = total_s % 86400;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "day %lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(in_day / 3600),
+                static_cast<long long>((in_day / 60) % 60),
+                static_cast<long long>(in_day % 60));
+  return buf;
+}
+
+std::string to_string(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fs", d.total_seconds());
+  return buf;
+}
+
+}  // namespace pathsel

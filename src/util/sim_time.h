@@ -1,0 +1,118 @@
+// Simulated time.
+//
+// All timestamps in the library are simulation time: milliseconds since the
+// start of a trace.  By convention a trace starts at 00:00 local time (the
+// paper reports times in PST) on a Monday, which makes weekday/weekend and
+// time-of-day classification pure arithmetic.  Nothing in library code reads
+// the wall clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pathsel {
+
+/// A span of simulated time, in milliseconds.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) noexcept {
+    return Duration{ms};
+  }
+  [[nodiscard]] static constexpr Duration seconds(double s) noexcept {
+    return Duration{static_cast<std::int64_t>(s * 1000.0)};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) noexcept {
+    return seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration hours(double h) noexcept {
+    return minutes(h * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration days(double d) noexcept {
+    return hours(d * 24.0);
+  }
+
+  [[nodiscard]] constexpr std::int64_t total_millis() const noexcept { return ms_; }
+  [[nodiscard]] constexpr double total_seconds() const noexcept {
+    return static_cast<double>(ms_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double total_hours() const noexcept {
+    return total_seconds() / 3600.0;
+  }
+  [[nodiscard]] constexpr double total_days() const noexcept {
+    return total_hours() / 24.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration operator+(Duration other) const noexcept {
+    return Duration{ms_ + other.ms_};
+  }
+  constexpr Duration operator-(Duration other) const noexcept {
+    return Duration{ms_ - other.ms_};
+  }
+  constexpr Duration operator*(double k) const noexcept {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ms_) * k)};
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ms) noexcept : ms_{ms} {}
+  std::int64_t ms_ = 0;
+};
+
+/// An instant of simulated time: milliseconds since trace start (Monday 00:00).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime at(Duration since_start) noexcept {
+    return SimTime{since_start.total_millis()};
+  }
+  [[nodiscard]] static constexpr SimTime start() noexcept { return SimTime{0}; }
+
+  [[nodiscard]] constexpr Duration since_start() const noexcept {
+    return Duration::millis(ms_);
+  }
+
+  /// Day index since trace start (day 0 is a Monday).
+  [[nodiscard]] constexpr std::int64_t day_index() const noexcept {
+    return ms_ / Duration::days(1).total_millis();
+  }
+
+  /// Day of week: 0 = Monday ... 6 = Sunday.
+  [[nodiscard]] constexpr int day_of_week() const noexcept {
+    return static_cast<int>(day_index() % 7);
+  }
+
+  [[nodiscard]] constexpr bool is_weekend() const noexcept {
+    return day_of_week() >= 5;
+  }
+
+  /// Local hour of day in [0, 24).
+  [[nodiscard]] constexpr double hour_of_day() const noexcept {
+    const std::int64_t day_ms = Duration::days(1).total_millis();
+    const std::int64_t in_day = ms_ % day_ms;
+    return static_cast<double>(in_day) / static_cast<double>(Duration::hours(1).total_millis());
+  }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(Duration d) const noexcept {
+    return SimTime{ms_ + d.total_millis()};
+  }
+  constexpr Duration operator-(SimTime other) const noexcept {
+    return Duration::millis(ms_ - other.ms_);
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ms) noexcept : ms_{ms} {}
+  std::int64_t ms_ = 0;
+};
+
+/// Formats as "day N HH:MM:SS" for diagnostics.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace pathsel

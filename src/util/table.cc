@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/expect.h"
+
+namespace pathsel {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PATHSEL_EXPECT(header_.empty() || row.size() == header_.size(),
+                 "table row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < header_.size(); ++i) total += widths[i] + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_series(std::ostream& os, std::string_view figure_title,
+                  const std::vector<Series>& series) {
+  os << "# " << figure_title << '\n';
+  for (const auto& s : series) {
+    PATHSEL_EXPECT(s.x.size() == s.y.size(), "series x/y size mismatch");
+    os << "# series: " << s.name << '\n' << "x,y\n";
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%.6g,%.6g\n", s.x[i], s.y[i]);
+      os << buf;
+    }
+  }
+}
+
+}  // namespace pathsel

@@ -1,0 +1,52 @@
+// Text table and CSV series output.
+//
+// Bench binaries regenerate the paper's tables and figures as text: tables
+// are printed column-aligned, figures (CDFs, scatter plots) are printed as
+// CSV series that plot directly with gnuplot/matplotlib.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathsel {
+
+/// Column-aligned text table with a title, for reproducing the paper's tables.
+class Table {
+ public:
+  explicit Table(std::string title) : title_{std::move(title)} {}
+
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header if one is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 0);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named sequence of (x, y) points — one line of a figure.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Prints one or more series as CSV blocks:
+///   # <figure title>
+///   # series: <name>
+///   x,y
+///   ...
+void print_series(std::ostream& os, std::string_view figure_title,
+                  const std::vector<Series>& series);
+
+}  // namespace pathsel

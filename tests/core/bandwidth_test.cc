@@ -1,0 +1,116 @@
+#include "core/bandwidth.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/tcp_model.h"
+#include "test_util.h"
+
+namespace pathsel::core {
+namespace {
+
+using test::add_transfer;
+using test::make_dataset;
+
+PathTable tcp_triangle() {
+  auto ds = make_dataset(3);
+  ds.kind = meas::MeasurementKind::kTcpTransfer;
+  for (int i = 0; i < 3; ++i) {
+    add_transfer(ds, 0, 1, 50.0, 100.0, 0.04);   // slow, lossy direct
+    add_transfer(ds, 0, 2, 300.0, 40.0, 0.004);  // clean legs
+    add_transfer(ds, 2, 1, 300.0, 40.0, 0.004);
+  }
+  return PathTable::build(ds, test::min_samples(1));
+}
+
+TEST(Bandwidth, OptimisticUsesMaxLoss) {
+  const auto results = analyze_bandwidth(tcp_triangle(),
+                                         LossComposition::kOptimistic);
+  for (const auto& r : results) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{1}) {
+      EXPECT_EQ(r.via, topo::HostId{2});
+      EXPECT_DOUBLE_EQ(r.default_kBps, 50.0);
+      const double expected = sim::mathis_bandwidth_kBps(80.0, 0.004);
+      EXPECT_NEAR(r.alternate_kBps, expected, 1e-9);
+      EXPECT_GT(r.improvement(), 0.0);
+      EXPECT_GT(r.ratio(), 1.0);
+    }
+  }
+}
+
+TEST(Bandwidth, PessimisticUsesIndependentLoss) {
+  const auto results = analyze_bandwidth(tcp_triangle(),
+                                         LossComposition::kPessimistic);
+  for (const auto& r : results) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{1}) {
+      const double loss = 1.0 - (1.0 - 0.004) * (1.0 - 0.004);
+      const double expected = sim::mathis_bandwidth_kBps(80.0, loss);
+      EXPECT_NEAR(r.alternate_kBps, expected, 1e-9);
+    }
+  }
+}
+
+TEST(Bandwidth, OptimisticAtLeastPessimistic) {
+  const auto opt = analyze_bandwidth(tcp_triangle(),
+                                     LossComposition::kOptimistic);
+  const auto pess = analyze_bandwidth(tcp_triangle(),
+                                      LossComposition::kPessimistic);
+  ASSERT_EQ(opt.size(), pess.size());
+  for (std::size_t i = 0; i < opt.size(); ++i) {
+    EXPECT_GE(opt[i].alternate_kBps, pess[i].alternate_kBps - 1e-9);
+  }
+}
+
+TEST(Bandwidth, PicksBestIntermediate) {
+  auto ds = make_dataset(4);
+  ds.kind = meas::MeasurementKind::kTcpTransfer;
+  add_transfer(ds, 0, 1, 50.0, 100.0, 0.04);
+  add_transfer(ds, 0, 2, 100.0, 80.0, 0.02);   // mediocre relay
+  add_transfer(ds, 2, 1, 100.0, 80.0, 0.02);
+  add_transfer(ds, 0, 3, 300.0, 30.0, 0.002);  // great relay
+  add_transfer(ds, 3, 1, 300.0, 30.0, 0.002);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto results = analyze_bandwidth(table, LossComposition::kOptimistic);
+  for (const auto& r : results) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{1}) {
+      EXPECT_EQ(r.via, topo::HostId{3});
+    }
+  }
+}
+
+TEST(Bandwidth, NoIntermediateOmitsPair) {
+  auto ds = make_dataset(3);
+  ds.kind = meas::MeasurementKind::kTcpTransfer;
+  add_transfer(ds, 0, 1, 50.0, 100.0, 0.04);
+  add_transfer(ds, 0, 2, 300.0, 40.0, 0.004);  // only one leg exists
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto results = analyze_bandwidth(table, LossComposition::kOptimistic);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Bandwidth, ZeroLossLegsStillFinite) {
+  auto ds = make_dataset(3);
+  ds.kind = meas::MeasurementKind::kTcpTransfer;
+  add_transfer(ds, 0, 1, 50.0, 100.0, 0.04);
+  add_transfer(ds, 0, 2, 300.0, 40.0, 0.0);
+  add_transfer(ds, 2, 1, 300.0, 40.0, 0.0);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto results = analyze_bandwidth(table, LossComposition::kOptimistic);
+  ASSERT_FALSE(results.empty());
+  EXPECT_TRUE(std::isfinite(results[0].alternate_kBps));
+  EXPECT_GT(results[0].alternate_kBps, 0.0);
+}
+
+TEST(Bandwidth, TracerouteTableAborts) {
+  auto ds = make_dataset(3);
+  test::add_invocations(ds, 0, 1, 10.0, 2);
+  test::add_invocations(ds, 0, 2, 10.0, 2);
+  test::add_invocations(ds, 2, 1, 10.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  EXPECT_DEATH((void)analyze_bandwidth(table, LossComposition::kOptimistic),
+               "TCP-transfer");
+}
+
+}  // namespace
+}  // namespace pathsel::core

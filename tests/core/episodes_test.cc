@@ -1,0 +1,77 @@
+#include "core/episodes.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pathsel::core {
+namespace {
+
+using test::add_invocation;
+using test::make_dataset;
+
+// Two episodes over a triangle; the direct 0-1 path is bad in episode 0
+// (rtt 200) and good in episode 1 (rtt 40).
+meas::Dataset episode_dataset() {
+  auto ds = make_dataset(3);
+  ds.episode_count = 2;
+  auto add_episode = [&ds](int ep, double direct) {
+    const SimTime t = SimTime::start() + Duration::hours(ep);
+    add_invocation(ds, 0, 1, {direct, direct, direct}, t, ep);
+    add_invocation(ds, 1, 0, {direct, direct, direct}, t, ep);
+    add_invocation(ds, 0, 2, {30.0, 30.0, 30.0}, t, ep);
+    add_invocation(ds, 2, 0, {30.0, 30.0, 30.0}, t, ep);
+    add_invocation(ds, 1, 2, {30.0, 30.0, 30.0}, t, ep);
+    add_invocation(ds, 2, 1, {30.0, 30.0, 30.0}, t, ep);
+  };
+  add_episode(0, 200.0);
+  add_episode(1, 40.0);
+  return ds;
+}
+
+TEST(Episodes, AnalyzesEachEpisodeSeparately) {
+  const auto analysis = analyze_episodes(episode_dataset(), EpisodeOptions{});
+  EXPECT_EQ(analysis.episodes_analyzed, 2u);
+  // 3 pairs per episode.
+  EXPECT_EQ(analysis.pair_episode_points, 6u);
+  EXPECT_EQ(analysis.unaveraged.size(), 6u);
+  EXPECT_EQ(analysis.pair_averaged.size(), 3u);
+}
+
+TEST(Episodes, UnaveragedShowsEpisodeSwings) {
+  const auto analysis = analyze_episodes(episode_dataset(), EpisodeOptions{});
+  // Pair 0-1: episode 0 improvement = 200 - 60 = 140; episode 1 = 40 - 60 =
+  // -20.  Both extremes must appear unaveraged.
+  EXPECT_DOUBLE_EQ(analysis.unaveraged.value_at_fraction(1.0), 140.0);
+  EXPECT_GE(analysis.unaveraged.fraction_at_or_below(-19.9), 1.0 / 6.0);
+}
+
+TEST(Episodes, PairAveragedSmoothsSwings) {
+  const auto analysis = analyze_episodes(episode_dataset(), EpisodeOptions{});
+  // Pair 0-1 average improvement = (140 - 20) / 2 = 60.
+  EXPECT_DOUBLE_EQ(analysis.pair_averaged.value_at_fraction(1.0), 60.0);
+}
+
+TEST(Episodes, BroaderTailsUnaveraged) {
+  const auto analysis = analyze_episodes(episode_dataset(), EpisodeOptions{});
+  EXPECT_GE(analysis.unaveraged.value_at_fraction(1.0),
+            analysis.pair_averaged.value_at_fraction(1.0));
+  EXPECT_LE(analysis.unaveraged.value_at_fraction(0.0),
+            analysis.pair_averaged.value_at_fraction(0.0));
+}
+
+TEST(Episodes, LossMetric) {
+  EpisodeOptions opt;
+  opt.metric = Metric::kLoss;
+  const auto analysis = analyze_episodes(episode_dataset(), opt);
+  EXPECT_EQ(analysis.episodes_analyzed, 2u);
+}
+
+TEST(Episodes, NonEpisodeDatasetAborts) {
+  auto ds = make_dataset(3);
+  add_invocation(ds, 0, 1, {10.0, 10.0, 10.0});
+  EXPECT_DEATH((void)analyze_episodes(ds, EpisodeOptions{}), "episode");
+}
+
+}  // namespace
+}  // namespace pathsel::core

@@ -1,0 +1,92 @@
+#include "core/triangulation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pathsel::core {
+namespace {
+
+using test::add_invocations;
+using test::make_dataset;
+
+PathTable prop_table(std::initializer_list<std::tuple<int, int, double>> edges) {
+  auto ds = make_dataset(5);
+  for (const auto& [a, b, rtt] : edges) {
+    add_invocations(ds, a, b, rtt, 5);
+  }
+  BuildOptions opt;
+  opt.min_samples = 1;
+  opt.keep_samples = true;
+  return PathTable::build(ds, opt);
+}
+
+TEST(Triangulation, BoundsBracketForConsistentGeometry) {
+  // Points on a line: 0 at x=0, 1 at x=100, 2 at x=40.
+  const auto table = prop_table({{0, 1, 100.0}, {0, 2, 40.0}, {2, 1, 60.0}});
+  const auto results = triangulate_propagation(table);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_LE(r.lower, r.actual + 1e-9);
+    EXPECT_GE(r.upper, r.actual - 1e-9);
+  }
+  // The 0-1 pair: lower = |40-60| = 20... wait: lower = |p(0,2)-p(2,1)| = 20,
+  // upper = 40 + 60 = 100 = actual (collinear).
+  for (const auto& r : results) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{1}) {
+      EXPECT_DOUBLE_EQ(r.upper, 100.0);
+      EXPECT_DOUBLE_EQ(r.lower, 20.0);
+      EXPECT_EQ(r.upper_via, topo::HostId{2});
+    }
+  }
+}
+
+TEST(Triangulation, PicksBestOfSeveralThirdHosts) {
+  const auto table = prop_table({{0, 1, 100.0},
+                                 {0, 2, 80.0},
+                                 {2, 1, 80.0},
+                                 {0, 3, 55.0},
+                                 {3, 1, 50.0}});
+  const auto results = triangulate_propagation(table);
+  for (const auto& r : results) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{1}) {
+      EXPECT_DOUBLE_EQ(r.upper, 105.0);  // via host 3, not 160 via host 2
+      EXPECT_EQ(r.upper_via, topo::HostId{3});
+      EXPECT_DOUBLE_EQ(r.lower, 5.0);    // |55 - 50|
+    }
+  }
+}
+
+TEST(Triangulation, PairWithoutThirdHostOmitted) {
+  const auto table = prop_table({{0, 1, 100.0}, {2, 3, 50.0}});
+  const auto results = triangulate_propagation(table);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Triangulation, AccuracyCdfCentersNearOne) {
+  // Fully consistent metric space: estimates overshoot (upper bound) but by
+  // bounded factors.
+  const auto table = prop_table({{0, 1, 100.0},
+                                 {0, 2, 40.0},
+                                 {2, 1, 60.0},
+                                 {0, 3, 70.0},
+                                 {3, 1, 35.0},
+                                 {2, 3, 30.0}});
+  const auto results = triangulate_propagation(table);
+  const auto cdf = triangulation_accuracy_cdf(results);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_GE(cdf.value_at_fraction(0.0), 1.0 - 1e-9);  // upper bound >= actual
+  EXPECT_LT(cdf.value_at_fraction(1.0), 5.0);
+}
+
+TEST(Triangulation, RequiresRetainedSamples) {
+  auto ds = make_dataset(3);
+  add_invocations(ds, 0, 1, 10.0, 2);
+  add_invocations(ds, 0, 2, 10.0, 2);
+  add_invocations(ds, 2, 1, 10.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  EXPECT_DEATH((void)triangulate_propagation(table), "retained");
+}
+
+}  // namespace
+}  // namespace pathsel::core

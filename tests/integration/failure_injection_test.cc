@@ -1,0 +1,133 @@
+// Failure injection: the pipeline must behave sensibly under hostile
+// conditions — total measurement failure, total host flakiness, saturated
+// links, missing data.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/alternate.h"
+#include "core/path_table.h"
+#include "meas/collector.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace pathsel {
+namespace {
+
+topo::Topology small_topology(std::uint64_t seed) {
+  topo::GeneratorConfig g;
+  g.seed = seed;
+  g.backbone_count = 3;
+  g.regional_count = 6;
+  g.stub_count = 12;
+  return topo::generate_topology(g);
+}
+
+std::vector<topo::HostId> first_hosts(int n) {
+  std::vector<topo::HostId> out;
+  for (int i = 0; i < n; ++i) out.push_back(topo::HostId{i});
+  return out;
+}
+
+TEST(FailureInjection, TotalMeasurementFailureYieldsEmptyTable) {
+  sim::NetworkConfig cfg;
+  cfg.measurement_failure_rate = 1.0;
+  const sim::Network net{small_topology(1), cfg};
+  meas::CollectorConfig cc;
+  cc.duration = Duration::hours(4);
+  cc.mean_interval = Duration::seconds(30);
+  const auto ds = meas::collect(net, first_hosts(8), cc, "allfail");
+  EXPECT_EQ(ds.completed_count(), 0u);
+  EXPECT_EQ(ds.covered_paths(), 0u);
+  const auto table = core::PathTable::build(ds, core::BuildOptions{});
+  EXPECT_TRUE(table.edges().empty());
+  EXPECT_TRUE(core::analyze_alternate_paths(table, {}).empty());
+}
+
+TEST(FailureInjection, AllHostsDownYieldsNoCompletedMeasurements) {
+  const sim::Network net{small_topology(2), sim::NetworkConfig{}};
+  meas::CollectorConfig cc;
+  cc.duration = Duration::hours(4);
+  cc.mean_interval = Duration::seconds(30);
+  cc.availability.dead_fraction = 1.0;
+  const auto ds = meas::collect(net, first_hosts(8), cc, "alldead");
+  EXPECT_GT(ds.measurements.size(), 0u);  // attempts are still recorded
+  EXPECT_EQ(ds.completed_count(), 0u);
+}
+
+TEST(FailureInjection, SaturatedLinksStillProduceFiniteMeasurements) {
+  topo::Topology t = small_topology(3);
+  for (const auto& link : t.links()) {
+    t.mutable_link(link.id).base_utilization = 0.95;
+  }
+  sim::NetworkConfig cfg;
+  cfg.measurement_failure_rate = 0.0;
+  const sim::Network net{std::move(t), cfg};
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = net.traceroute(topo::HostId{0}, topo::HostId{5},
+                                  SimTime::start() + Duration::hours(10) +
+                                      Duration::minutes(i));
+    ASSERT_TRUE(r.completed);
+    for (const auto& s : r.samples) {
+      if (!s.lost) {
+        EXPECT_TRUE(std::isfinite(s.rtt_ms));
+        EXPECT_GT(s.rtt_ms, 0.0);
+        ++completed;
+      }
+    }
+  }
+  // Saturated everywhere: heavy loss, but not a blackout.
+  EXPECT_GT(completed, 0);
+  EXPECT_LT(completed, 150);
+}
+
+TEST(FailureInjection, RateLimitEverythingStillMeasuresFirstSamples) {
+  topo::GeneratorConfig g;
+  g.seed = 4;
+  g.backbone_count = 3;
+  g.regional_count = 6;
+  g.stub_count = 12;
+  g.rate_limited_host_fraction = 1.0;
+  sim::NetworkConfig cfg;
+  cfg.measurement_failure_rate = 0.0;
+  cfg.rate_limit_drop = 1.0;
+  const sim::Network net{topo::generate_topology(g), cfg};
+  const auto r = net.traceroute(topo::HostId{0}, topo::HostId{5},
+                                SimTime::start() + Duration::hours(1));
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.samples[1].lost);
+  EXPECT_TRUE(r.samples[2].lost);
+}
+
+TEST(FailureInjection, SparseDataStillAnalyzable) {
+  const sim::Network net{small_topology(5), sim::NetworkConfig{}};
+  meas::CollectorConfig cc;
+  cc.duration = Duration::minutes(30);
+  cc.mean_interval = Duration::seconds(60);
+  const auto ds = meas::collect(net, first_hosts(6), cc, "sparse");
+  core::BuildOptions build;
+  build.min_samples = 1;
+  const auto table = core::PathTable::build(ds, build);
+  // Whatever survived must analyze without aborting.
+  const auto results = core::analyze_alternate_paths(table, {});
+  for (const auto& r : results) {
+    EXPECT_GT(r.default_value, 0.0);
+    EXPECT_GT(r.alternate_value, 0.0);
+  }
+}
+
+TEST(FailureInjection, MinSamplesAboveDataDropsEverything) {
+  const sim::Network net{small_topology(6), sim::NetworkConfig{}};
+  meas::CollectorConfig cc;
+  cc.duration = Duration::hours(2);
+  cc.mean_interval = Duration::seconds(60);
+  const auto ds = meas::collect(net, first_hosts(6), cc, "few");
+  core::BuildOptions build;
+  build.min_samples = 1000000;
+  const auto table = core::PathTable::build(ds, build);
+  EXPECT_TRUE(table.edges().empty());
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -1,0 +1,97 @@
+#include "meas/availability.h"
+
+#include <gtest/gtest.h>
+
+namespace pathsel::meas {
+namespace {
+
+TEST(Availability, SolidHostsAlwaysUp) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 0.0;
+  cfg.dead_fraction = 0.0;
+  const HostAvailability av{cfg, 10, Duration::days(7)};
+  for (int h = 0; h < 10; ++h) {
+    for (int hour = 0; hour < 7 * 24; hour += 3) {
+      EXPECT_TRUE(av.is_up(topo::HostId{h},
+                           SimTime::start() + Duration::hours(hour)));
+    }
+    EXPECT_DOUBLE_EQ(av.down_fraction(topo::HostId{h}), 0.0);
+  }
+}
+
+TEST(Availability, DeadHostsNeverUp) {
+  AvailabilityConfig cfg;
+  cfg.dead_fraction = 1.0;
+  const HostAvailability av{cfg, 5, Duration::days(7)};
+  for (int h = 0; h < 5; ++h) {
+    EXPECT_DOUBLE_EQ(av.down_fraction(topo::HostId{h}), 1.0);
+    for (int hour = 0; hour < 7 * 24; hour += 7) {
+      EXPECT_FALSE(av.is_up(topo::HostId{h},
+                            SimTime::start() + Duration::hours(hour)));
+    }
+  }
+}
+
+TEST(Availability, FlakyHostsHaveDownIntervals) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 1.0;
+  cfg.min_down_fraction = 0.4;
+  cfg.max_down_fraction = 0.6;
+  const HostAvailability av{cfg, 20, Duration::days(30)};
+  int down_samples = 0;
+  int total = 0;
+  for (int h = 0; h < 20; ++h) {
+    EXPECT_GT(av.down_fraction(topo::HostId{h}), 0.0);
+    for (int hour = 0; hour < 30 * 24; ++hour) {
+      ++total;
+      if (!av.is_up(topo::HostId{h}, SimTime::start() + Duration::hours(hour))) {
+        ++down_samples;
+      }
+    }
+  }
+  const double observed = static_cast<double>(down_samples) / total;
+  EXPECT_GT(observed, 0.25);
+  EXPECT_LT(observed, 0.75);
+}
+
+TEST(Availability, Deterministic) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 0.5;
+  const HostAvailability a{cfg, 10, Duration::days(10)};
+  const HostAvailability b{cfg, 10, Duration::days(10)};
+  for (int h = 0; h < 10; ++h) {
+    for (int hour = 0; hour < 240; hour += 5) {
+      const SimTime t = SimTime::start() + Duration::hours(hour);
+      EXPECT_EQ(a.is_up(topo::HostId{h}, t), b.is_up(topo::HostId{h}, t));
+    }
+  }
+}
+
+TEST(Availability, DifferentSeedsDiffer) {
+  AvailabilityConfig c1;
+  c1.flaky_fraction = 0.7;
+  AvailabilityConfig c2 = c1;
+  c2.seed = c1.seed + 1;
+  const HostAvailability a{c1, 30, Duration::days(10)};
+  const HostAvailability b{c2, 30, Duration::days(10)};
+  int diff = 0;
+  for (int h = 0; h < 30; ++h) {
+    if (a.down_fraction(topo::HostId{h}) != b.down_fraction(topo::HostId{h})) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Availability, UnknownHostAborts) {
+  const HostAvailability av{AvailabilityConfig{}, 3, Duration::days(1)};
+  EXPECT_DEATH((void)av.is_up(topo::HostId{9}, SimTime::start()), "unknown");
+}
+
+TEST(Availability, ZeroDurationAborts) {
+  EXPECT_DEATH((HostAvailability{AvailabilityConfig{}, 3, Duration{}}),
+               "positive");
+}
+
+}  // namespace
+}  // namespace pathsel::meas

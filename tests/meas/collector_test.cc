@@ -1,0 +1,216 @@
+#include "meas/collector.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace pathsel::meas {
+namespace {
+
+sim::Network make_network(std::uint64_t seed) {
+  topo::GeneratorConfig g;
+  g.seed = seed;
+  g.backbone_count = 3;
+  g.regional_count = 6;
+  g.stub_count = 12;
+  g.rate_limited_host_fraction = 0.25;
+  sim::NetworkConfig cfg;
+  cfg.seed = seed;
+  return sim::Network{topo::generate_topology(g), cfg};
+}
+
+std::vector<topo::HostId> first_hosts(const sim::Network& net, int n) {
+  std::vector<topo::HostId> out;
+  for (int i = 0; i < n; ++i) out.push_back(topo::HostId{i});
+  (void)net;
+  return out;
+}
+
+CollectorConfig quick_config(Discipline d) {
+  CollectorConfig cfg;
+  cfg.discipline = d;
+  cfg.duration = Duration::hours(6);
+  cfg.mean_interval = Duration::seconds(60);
+  cfg.availability.flaky_fraction = 0.0;
+  return cfg;
+}
+
+TEST(Collector, MeasurementsWithinDuration) {
+  const auto net = make_network(1);
+  const auto ds = collect(net, first_hosts(net, 8),
+                          quick_config(Discipline::kExponentialPair), "t");
+  EXPECT_FALSE(ds.measurements.empty());
+  for (const auto& m : ds.measurements) {
+    EXPECT_LE(m.when.since_start().total_millis(),
+              Duration::hours(6).total_millis());
+  }
+}
+
+TEST(Collector, MeasurementsSortedByTime) {
+  const auto net = make_network(2);
+  const auto ds = collect(net, first_hosts(net, 8),
+                          quick_config(Discipline::kExponentialPair), "t");
+  for (std::size_t i = 1; i < ds.measurements.size(); ++i) {
+    EXPECT_LE(ds.measurements[i - 1].when, ds.measurements[i].when);
+  }
+}
+
+TEST(Collector, ExponentialPairCountNearExpectation) {
+  const auto net = make_network(3);
+  auto cfg = quick_config(Discipline::kExponentialPair);
+  cfg.duration = Duration::hours(10);
+  cfg.mean_interval = Duration::seconds(30);
+  const auto ds = collect(net, first_hosts(net, 8), cfg, "t");
+  const double expected = 10.0 * 3600.0 / 30.0;
+  EXPECT_NEAR(static_cast<double>(ds.measurements.size()), expected,
+              expected * 0.15);
+}
+
+TEST(Collector, UniformPerServerEveryHostProbes) {
+  const auto net = make_network(4);
+  auto cfg = quick_config(Discipline::kUniformPerServer);
+  cfg.mean_interval = Duration::minutes(10);
+  const auto hosts = first_hosts(net, 8);
+  const auto ds = collect(net, hosts, cfg, "t");
+  std::set<topo::HostId> sources;
+  for (const auto& m : ds.measurements) sources.insert(m.src);
+  EXPECT_EQ(sources.size(), hosts.size());
+}
+
+TEST(Collector, RateLimitedHostsExcludedFromTargets) {
+  const auto net = make_network(5);
+  auto cfg = quick_config(Discipline::kUniformPerServer);
+  cfg.allow_rate_limited_targets = false;
+  cfg.mean_interval = Duration::minutes(2);
+  const auto hosts = first_hosts(net, 10);
+  const auto ds = collect(net, hosts, cfg, "t");
+  for (const auto& m : ds.measurements) {
+    EXPECT_FALSE(net.topology().host(m.dst).icmp_rate_limited);
+  }
+}
+
+TEST(Collector, EpisodeMeshMeasuresEveryOrderedPair) {
+  const auto net = make_network(6);
+  auto cfg = quick_config(Discipline::kEpisodeFullMesh);
+  cfg.duration = Duration::hours(3);
+  cfg.mean_interval = Duration::minutes(30);
+  const auto hosts = first_hosts(net, 5);
+  const auto ds = collect(net, hosts, cfg, "t");
+  ASSERT_GT(ds.episode_count, 0);
+  std::map<std::int32_t, std::set<std::pair<int, int>>> pairs_by_episode;
+  for (const auto& m : ds.measurements) {
+    ASSERT_GE(m.episode, 0);
+    pairs_by_episode[m.episode].insert({m.src.value(), m.dst.value()});
+  }
+  // Every *fully scheduled* episode covers all 20 ordered pairs (the last
+  // episode may be cut off by the trace end).
+  std::size_t full = 0;
+  for (const auto& [ep, pairs] : pairs_by_episode) {
+    if (pairs.size() == 20u) ++full;
+    EXPECT_LE(pairs.size(), 20u);
+  }
+  EXPECT_GE(full, pairs_by_episode.size() - 1);
+}
+
+TEST(Collector, EpisodeMeasurementsWithinWindow) {
+  const auto net = make_network(7);
+  auto cfg = quick_config(Discipline::kEpisodeFullMesh);
+  cfg.duration = Duration::hours(2);
+  cfg.mean_interval = Duration::minutes(20);
+  cfg.episode_window = Duration::minutes(4);
+  const auto ds = collect(net, first_hosts(net, 4), cfg, "t");
+  std::map<std::int32_t, std::pair<SimTime, SimTime>> range;
+  for (const auto& m : ds.measurements) {
+    auto [it, inserted] = range.try_emplace(m.episode, m.when, m.when);
+    it->second.first = std::min(it->second.first, m.when);
+    it->second.second = std::max(it->second.second, m.when);
+  }
+  for (const auto& [ep, mm] : range) {
+    EXPECT_LE((mm.second - mm.first).total_seconds(), 4 * 60.0 + 1.0);
+  }
+}
+
+TEST(Collector, DownHostsProduceFailedMeasurements) {
+  const auto net = make_network(8);
+  auto cfg = quick_config(Discipline::kExponentialPair);
+  cfg.availability.flaky_fraction = 1.0;
+  cfg.availability.min_down_fraction = 0.5;
+  cfg.availability.max_down_fraction = 0.9;
+  const auto ds = collect(net, first_hosts(net, 8), cfg, "t");
+  EXPECT_LT(ds.completed_count(), ds.measurements.size());
+}
+
+TEST(Collector, DatasetMetadataFilled) {
+  const auto net = make_network(9);
+  auto cfg = quick_config(Discipline::kExponentialPair);
+  cfg.kind = MeasurementKind::kTcpTransfer;
+  cfg.first_sample_loss_only = true;
+  const auto ds = collect(net, first_hosts(net, 6), cfg, "my-name");
+  EXPECT_EQ(ds.name, "my-name");
+  EXPECT_EQ(ds.kind, MeasurementKind::kTcpTransfer);
+  EXPECT_TRUE(ds.first_sample_loss_only);
+  EXPECT_EQ(ds.hosts.size(), 6u);
+  EXPECT_EQ(ds.duration.total_millis(), Duration::hours(6).total_millis());
+}
+
+TEST(Collector, TcpMeasurementsCarryTransferFields) {
+  const auto net = make_network(10);
+  auto cfg = quick_config(Discipline::kExponentialPair);
+  cfg.kind = MeasurementKind::kTcpTransfer;
+  const auto ds = collect(net, first_hosts(net, 6), cfg, "t");
+  std::size_t with_bw = 0;
+  for (const auto& m : ds.measurements) {
+    if (m.completed) {
+      EXPECT_GT(m.bandwidth_kBps, 0.0);
+      EXPECT_GT(m.tcp_rtt_ms, 0.0);
+      ++with_bw;
+    }
+  }
+  EXPECT_GT(with_bw, 0u);
+}
+
+TEST(Collector, Deterministic) {
+  const auto net = make_network(11);
+  const auto cfg = quick_config(Discipline::kExponentialPair);
+  const auto a = collect(net, first_hosts(net, 8), cfg, "a");
+  const auto b = collect(net, first_hosts(net, 8), cfg, "b");
+  ASSERT_EQ(a.measurements.size(), b.measurements.size());
+  for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+    EXPECT_EQ(a.measurements[i].when, b.measurements[i].when);
+    EXPECT_EQ(a.measurements[i].src, b.measurements[i].src);
+    EXPECT_EQ(a.measurements[i].dst, b.measurements[i].dst);
+  }
+}
+
+TEST(Collector, NeverMeasuresSelfPairs) {
+  const auto net = make_network(12);
+  const auto ds = collect(net, first_hosts(net, 8),
+                          quick_config(Discipline::kExponentialPair), "t");
+  for (const auto& m : ds.measurements) {
+    EXPECT_NE(m.src, m.dst);
+  }
+}
+
+TEST(Collector, TooFewHostsAborts) {
+  const auto net = make_network(13);
+  EXPECT_DEATH((void)collect(net, {topo::HostId{0}},
+                             quick_config(Discipline::kExponentialPair), "t"),
+               "2 hosts");
+}
+
+TEST(Dataset, CoverageCounting) {
+  const auto net = make_network(14);
+  auto cfg = quick_config(Discipline::kExponentialPair);
+  cfg.duration = Duration::hours(20);
+  cfg.mean_interval = Duration::seconds(20);
+  const auto ds = collect(net, first_hosts(net, 6), cfg, "t");
+  EXPECT_EQ(ds.potential_paths(), 30u);
+  EXPECT_LE(ds.covered_paths(), 30u);
+  EXPECT_GT(ds.covered_paths(), 20u);
+}
+
+}  // namespace
+}  // namespace pathsel::meas

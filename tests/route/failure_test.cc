@@ -1,0 +1,175 @@
+// Link-failure behavior: the routing stack must reroute around failed
+// links, drop BGP sessions whose last physical link is down, and report
+// partition instead of fabricating paths.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "route/bgp.h"
+#include "route/igp.h"
+#include "route/path.h"
+#include "topo/generator.h"
+
+namespace pathsel::route {
+namespace {
+
+topo::Topology make(std::uint64_t seed) {
+  topo::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.backbone_count = 4;
+  cfg.regional_count = 8;
+  cfg.stub_count = 16;
+  return topo::generate_topology(cfg);
+}
+
+topo::LinkId first_link_on_path(const topo::Topology& t, const RouterPath& p,
+                                topo::LinkKind kind) {
+  for (const auto& hop : p.hops) {
+    if (t.link(hop.via).kind == kind) return hop.via;
+  }
+  return topo::LinkId{};
+}
+
+TEST(Failure, IgpReroutesAroundFailedIntraAsLink) {
+  topo::Topology t = make(1);
+  // Find some backbone intra-AS link that is not a bridge within its AS:
+  // fail it and require the IGP to still connect its endpoints.
+  for (const auto& l : t.links()) {
+    if (l.kind != topo::LinkKind::kIntraAs) continue;
+    const auto& as = t.as_at(t.router(l.a).as);
+    if (as.tier != topo::AsTier::kBackbone) continue;
+    const IgpTables before{t};
+    const double d_before = before.distance(l.a, l.b);
+    t.set_link_down(l.id, true);
+    const IgpTables after{t};
+    const double d_after = after.distance(l.a, l.b);
+    t.set_link_down(l.id, false);
+    if (!std::isfinite(d_after)) continue;  // it was a bridge; try another
+    EXPECT_GE(d_after, d_before);
+    // The rerouted segment must not use the failed link.
+    for (const auto& hop : after.segment(l.a, l.b)) {
+      EXPECT_NE(hop.via, l.id);
+    }
+    return;
+  }
+  GTEST_SKIP() << "no non-bridge backbone link found";
+}
+
+TEST(Failure, BgpSessionDropsWhenLastLinkFails) {
+  topo::Topology t = make(2);
+  // Find a stub with exactly one provider and one transit link.
+  for (const auto& as : t.ases()) {
+    if (as.tier != topo::AsTier::kStub || as.providers.size() != 1) continue;
+    const auto links = t.links_between(as.id, as.providers[0]);
+    if (links.size() != 1) continue;
+    t.set_link_down(links[0], true);
+    const BgpTables bgp{t};
+    // The single-homed stub is now unreachable from everywhere else.
+    for (const auto& other : t.ases()) {
+      if (other.id == as.id) continue;
+      EXPECT_EQ(bgp.route(other.id, as.id).cls, RouteClass::kNone);
+      EXPECT_TRUE(bgp.as_path(other.id, as.id).empty());
+    }
+    return;
+  }
+  GTEST_SKIP() << "no single-homed single-link stub found";
+}
+
+TEST(Failure, MultihomedStubSurvivesSingleAccessFailure) {
+  topo::Topology t = make(3);
+  for (const auto& as : t.ases()) {
+    if (as.tier != topo::AsTier::kStub || as.providers.size() < 2) continue;
+    const auto links = t.links_between(as.id, as.providers[0]);
+    if (links.empty()) continue;
+    for (const auto l : links) t.set_link_down(l, true);
+    const BgpTables bgp{t};
+    // Reachable through the second provider.
+    bool reachable_from_somewhere = false;
+    for (const auto& other : t.ases()) {
+      if (other.id == as.id || other.tier != topo::AsTier::kStub) continue;
+      if (bgp.route(other.id, as.id).cls != RouteClass::kNone) {
+        reachable_from_somewhere = true;
+        const auto path = bgp.as_path(other.id, as.id);
+        ASSERT_GE(path.size(), 2u);
+        EXPECT_NE(path[path.size() - 2], as.providers[0]);
+      }
+    }
+    EXPECT_TRUE(reachable_from_somewhere);
+    return;
+  }
+  GTEST_SKIP() << "no multihomed stub found";
+}
+
+TEST(Failure, ExchangeFailureMovesPeeringTraffic) {
+  topo::Topology t = make(4);
+  const IgpTables igp0{t};
+  const BgpTables bgp0{t};
+  const PathResolver r0{t, igp0, bgp0};
+  const auto& hosts = t.hosts();
+  // Find a host pair whose default path crosses a public exchange.
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      const auto path = r0.resolve(hosts[i].attachment, hosts[j].attachment);
+      if (!path.valid()) continue;
+      const auto exch =
+          first_link_on_path(t, path, topo::LinkKind::kPublicExchange);
+      if (!exch.valid()) continue;
+      t.set_link_down(exch, true);
+      const IgpTables igp1{t};
+      const BgpTables bgp1{t};
+      const PathResolver r1{t, igp1, bgp1};
+      const auto rerouted =
+          r1.resolve(hosts[i].attachment, hosts[j].attachment);
+      ASSERT_TRUE(rerouted.valid());
+      for (const auto& hop : rerouted.hops) {
+        EXPECT_NE(hop.via, exch);
+      }
+      return;
+    }
+  }
+  GTEST_SKIP() << "no exchange-crossing pair found";
+}
+
+TEST(Failure, ReferencePathsAvoidDownLinks) {
+  topo::Topology t = make(5);
+  const auto& hosts = t.hosts();
+  const auto before = optimal_delay_path(t, hosts[0].attachment,
+                                         hosts[5].attachment);
+  ASSERT_TRUE(before.valid());
+  ASSERT_FALSE(before.hops.empty());
+  const topo::LinkId failed = before.hops[0].via;
+  t.set_link_down(failed, true);
+  const auto after = optimal_delay_path(t, hosts[0].attachment,
+                                        hosts[5].attachment);
+  if (after.valid()) {
+    for (const auto& hop : after.hops) {
+      EXPECT_NE(hop.via, failed);
+    }
+    EXPECT_GE(after.propagation_delay_ms(t),
+              before.propagation_delay_ms(t) - 1e-9);
+  }
+}
+
+TEST(Failure, RepairRestoresOriginalRouting) {
+  topo::Topology t = make(6);
+  const BgpTables before{t};
+  // Fail and repair an arbitrary inter-AS link.
+  for (const auto& l : t.links()) {
+    if (l.kind == topo::LinkKind::kIntraAs) continue;
+    t.set_link_down(l.id, true);
+    t.set_link_down(l.id, false);
+    break;
+  }
+  const BgpTables after{t};
+  for (const auto& src : t.ases()) {
+    for (const auto& dst : t.ases()) {
+      if (src.id == dst.id) continue;
+      EXPECT_EQ(before.route(src.id, dst.id).next_hop,
+                after.route(src.id, dst.id).next_hop);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathsel::route

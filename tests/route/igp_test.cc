@@ -1,0 +1,98 @@
+#include "route/igp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pathsel::route {
+namespace {
+
+// Hand-built AS with four routers in a diamond:
+//   r0 -- r1 -- r3, r0 -- r2 -- r3, with r0-r1 short and r0-r2 long.
+struct Diamond {
+  topo::Topology topo;
+  topo::RouterId r0, r1, r2, r3;
+
+  explicit Diamond(topo::IgpPolicy igp) {
+    const auto as = topo.add_as(topo::AsTier::kBackbone, igp, "D");
+    r0 = topo.add_router(as, 0, "r0");    // SEA
+    r1 = topo.add_router(as, 1, "r1");    // PDX (near SEA)
+    r2 = topo.add_router(as, 19, "r2");   // MIA (far)
+    r3 = topo.add_router(as, 25, "r3");   // NYC
+    topo.add_link(r0, r1, topo::LinkKind::kIntraAs, 155, 0.2);
+    topo.add_link(r1, r3, topo::LinkKind::kIntraAs, 155, 0.2);
+    topo.add_link(r0, r2, topo::LinkKind::kIntraAs, 155, 0.2);
+    topo.add_link(r2, r3, topo::LinkKind::kIntraAs, 155, 0.2);
+    if (igp == topo::IgpPolicy::kHopCount) {
+      for (const auto& l : topo.links()) {
+        topo.mutable_link(l.id).igp_metric = 1.0;
+      }
+    }
+  }
+};
+
+TEST(Igp, DistanceToSelfIsZero) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  EXPECT_DOUBLE_EQ(igp.distance(d.r0, d.r0), 0.0);
+}
+
+TEST(Igp, DelayMetricPrefersShortGeographicRoute) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  const auto seg = igp.segment(d.r0, d.r3);
+  ASSERT_EQ(seg.size(), 2u);
+  EXPECT_EQ(seg[0].router, d.r1);  // via PDX, not via MIA
+  EXPECT_EQ(seg[1].router, d.r3);
+}
+
+TEST(Igp, DistancesAreSymmetricOnUndirectedGraph) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  EXPECT_DOUBLE_EQ(igp.distance(d.r0, d.r3), igp.distance(d.r3, d.r0));
+}
+
+TEST(Igp, HopCountTreatsBothRoutesEqually) {
+  Diamond d{topo::IgpPolicy::kHopCount};
+  IgpTables igp{d.topo};
+  EXPECT_DOUBLE_EQ(igp.distance(d.r0, d.r3), 2.0);
+  EXPECT_DOUBLE_EQ(igp.distance(d.r0, d.r1), 1.0);
+}
+
+TEST(Igp, SegmentReconstructsContiguousPath) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  const auto seg = igp.segment(d.r0, d.r3);
+  topo::RouterId cursor = d.r0;
+  for (const auto& hop : seg) {
+    EXPECT_EQ(d.topo.other_end(hop.via, hop.router), cursor);
+    cursor = hop.router;
+  }
+  EXPECT_EQ(cursor, d.r3);
+}
+
+TEST(Igp, EmptySegmentForSameRouter) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  EXPECT_TRUE(igp.segment(d.r0, d.r0).empty());
+}
+
+TEST(Igp, IgnoresInterAsLinksAndForeignRouters) {
+  topo::Topology t = test::make_two_as_topology();
+  IgpTables igp{t};
+  // CHI (stub) cannot reach SEA via IGP: different AS.
+  EXPECT_DEATH((void)igp.distance(topo::RouterId{2}, topo::RouterId{0}),
+               "one AS");
+}
+
+TEST(Igp, SumOfSegmentMetricsEqualsDistance) {
+  Diamond d{topo::IgpPolicy::kDelay};
+  IgpTables igp{d.topo};
+  const auto seg = igp.segment(d.r0, d.r3);
+  double total = 0.0;
+  for (const auto& hop : seg) total += d.topo.link(hop.via).igp_metric;
+  EXPECT_NEAR(total, igp.distance(d.r0, d.r3), 1e-9);
+}
+
+}  // namespace
+}  // namespace pathsel::route

@@ -1,0 +1,194 @@
+#include "route/path.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace pathsel::route {
+namespace {
+
+struct World {
+  topo::Topology topo;
+  IgpTables igp;
+  BgpTables bgp;
+
+  explicit World(std::uint64_t seed, EgressPolicy policy = EgressPolicy::kEarlyExit)
+      : topo{make(seed)}, igp{topo}, bgp{topo}, resolver{topo, igp, bgp, policy} {}
+
+  static topo::Topology make(std::uint64_t seed) {
+    topo::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.backbone_count = 4;
+    cfg.regional_count = 8;
+    cfg.stub_count = 20;
+    return generate_topology(cfg);
+  }
+
+  PathResolver resolver;
+};
+
+bool path_contiguous(const topo::Topology& t, const RouterPath& p) {
+  topo::RouterId cursor = p.source;
+  for (const auto& hop : p.hops) {
+    if (t.other_end(hop.via, hop.router) != cursor) return false;
+    cursor = hop.router;
+  }
+  return true;
+}
+
+TEST(PathResolver, ResolvesContiguousRouterPath) {
+  World w{31};
+  const auto& hosts = w.topo.hosts();
+  ASSERT_GE(hosts.size(), 2u);
+  const auto path =
+      w.resolver.resolve(hosts[0].attachment, hosts[5].attachment);
+  ASSERT_TRUE(path.valid());
+  EXPECT_TRUE(path_contiguous(w.topo, path));
+  ASSERT_FALSE(path.hops.empty());
+  EXPECT_EQ(path.hops.back().router, hosts[5].attachment);
+}
+
+TEST(PathResolver, RouterPathMatchesAsPath) {
+  World w{32};
+  const auto& hosts = w.topo.hosts();
+  const auto path =
+      w.resolver.resolve(hosts[1].attachment, hosts[9].attachment);
+  ASSERT_TRUE(path.valid());
+  // The sequence of router ASes, deduplicated, must equal the AS path.
+  std::vector<topo::AsId> seen{w.topo.router(path.source).as};
+  for (const auto& hop : path.hops) {
+    const topo::AsId as = w.topo.router(hop.router).as;
+    if (seen.back() != as) seen.push_back(as);
+  }
+  EXPECT_EQ(seen, path.as_path);
+}
+
+TEST(PathResolver, PathsAreAsymmetric) {
+  // Hot-potato routing sends forward and reverse traffic through different
+  // exchange points for at least some pairs (Paxson's observation).
+  World w{33};
+  const auto& hosts = w.topo.hosts();
+  int asymmetric = 0;
+  int checked = 0;
+  for (std::size_t i = 0; i < hosts.size() && checked < 40; ++i) {
+    for (std::size_t j = i + 1; j < hosts.size() && checked < 40; ++j) {
+      const auto fwd =
+          w.resolver.resolve(hosts[i].attachment, hosts[j].attachment);
+      const auto rev =
+          w.resolver.resolve(hosts[j].attachment, hosts[i].attachment);
+      if (!fwd.valid() || !rev.valid()) continue;
+      ++checked;
+      if (fwd.hop_count() != rev.hop_count()) {
+        ++asymmetric;
+        continue;
+      }
+      for (std::size_t k = 0; k < fwd.hop_count(); ++k) {
+        if (fwd.hops[k].via !=
+            rev.hops[rev.hop_count() - 1 - k].via) {
+          ++asymmetric;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(asymmetric, 0);
+}
+
+TEST(PathResolver, OptimalDelayPathNeverWorse) {
+  World w{34};
+  const auto& hosts = w.topo.hosts();
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto policy =
+        w.resolver.resolve(hosts[i].attachment, hosts[i + 5].attachment);
+    const auto optimal = optimal_delay_path(w.topo, hosts[i].attachment,
+                                            hosts[i + 5].attachment);
+    ASSERT_TRUE(policy.valid());
+    ASSERT_TRUE(optimal.valid());
+    EXPECT_LE(optimal.propagation_delay_ms(w.topo),
+              policy.propagation_delay_ms(w.topo) + 1e-9);
+  }
+}
+
+TEST(PathResolver, PolicyRoutingInflatesSomePaths) {
+  // The headline premise: policy routing is strictly worse than optimal for
+  // a noticeable fraction of pairs.
+  World w{35};
+  const auto& hosts = w.topo.hosts();
+  int inflated = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      const auto policy =
+          w.resolver.resolve(hosts[i].attachment, hosts[j].attachment);
+      const auto optimal = optimal_delay_path(w.topo, hosts[i].attachment,
+                                              hosts[j].attachment);
+      if (!policy.valid()) continue;
+      ++total;
+      if (policy.propagation_delay_ms(w.topo) >
+          optimal.propagation_delay_ms(w.topo) + 1.0) {
+        ++inflated;
+      }
+    }
+  }
+  EXPECT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(inflated) / total, 0.15);
+}
+
+TEST(PathResolver, MinHopPathMinimizesHops) {
+  World w{36};
+  const auto& hosts = w.topo.hosts();
+  const auto policy =
+      w.resolver.resolve(hosts[0].attachment, hosts[7].attachment);
+  const auto minhop =
+      min_hop_path(w.topo, hosts[0].attachment, hosts[7].attachment);
+  ASSERT_TRUE(minhop.valid());
+  EXPECT_LE(minhop.hop_count(), policy.hop_count());
+  EXPECT_TRUE(path_contiguous(w.topo, minhop));
+}
+
+TEST(PathResolver, BestExitDiffersFromEarlyExitSomewhere) {
+  World early{37, EgressPolicy::kEarlyExit};
+  World best{37, EgressPolicy::kBestExit};
+  const auto& hosts = early.topo.hosts();
+  int different = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      if (i == j) continue;
+      const auto a =
+          early.resolver.resolve(hosts[i].attachment, hosts[j].attachment);
+      const auto b =
+          best.resolver.resolve(hosts[i].attachment, hosts[j].attachment);
+      if (a.hop_count() != b.hop_count()) {
+        ++different;
+        continue;
+      }
+      for (std::size_t k = 0; k < a.hop_count(); ++k) {
+        if (a.hops[k].via != b.hops[k].via) {
+          ++different;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(different, 0);
+}
+
+TEST(RouterPath, PropagationDelaySumsLinks) {
+  World w{38};
+  const auto& hosts = w.topo.hosts();
+  const auto p = w.resolver.resolve(hosts[0].attachment, hosts[3].attachment);
+  double expected = 0.0;
+  for (const auto& hop : p.hops) {
+    expected += w.topo.link(hop.via).prop_delay_ms;
+  }
+  EXPECT_DOUBLE_EQ(p.propagation_delay_ms(w.topo), expected);
+}
+
+TEST(RouterPath, InvalidByDefault) {
+  RouterPath p;
+  EXPECT_FALSE(p.valid());
+}
+
+}  // namespace
+}  // namespace pathsel::route

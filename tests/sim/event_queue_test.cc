@@ -1,0 +1,100 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pathsel::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::at(Duration::seconds(3)), [&](SimTime) { order.push_back(3); });
+  q.schedule_at(SimTime::at(Duration::seconds(1)), [&](SimTime) { order.push_back(1); });
+  q.schedule_at(SimTime::at(Duration::seconds(2)), [&](SimTime) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t = SimTime::at(Duration::seconds(5));
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(t, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(SimTime::at(Duration::seconds(7)), [&](SimTime t) { seen = t; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(seen, SimTime::at(Duration::seconds(7)));
+  EXPECT_EQ(q.now(), SimTime::at(Duration::seconds(7)));
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, CallbackCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++fired < 5) q.schedule_after(Duration::seconds(1), chain);
+  };
+  q.schedule_at(SimTime::start(), chain);
+  q.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), SimTime::at(Duration::seconds(4)));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.schedule_at(SimTime::at(Duration::seconds(i)), [&](SimTime) { ++fired; });
+  }
+  q.run_until(SimTime::at(Duration::seconds(5)));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.pending(), 5u);
+  EXPECT_EQ(q.now(), SimTime::at(Duration::seconds(5)));
+}
+
+TEST(EventQueue, RunUntilIncludesBoundary) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(SimTime::at(Duration::seconds(5)), [&](SimTime) { fired = true; });
+  q.run_until(SimTime::at(Duration::seconds(5)));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime when;
+  q.schedule_at(SimTime::at(Duration::seconds(10)), [&](SimTime) {
+    q.schedule_after(Duration::seconds(5), [&](SimTime t) { when = t; });
+  });
+  q.run_all();
+  EXPECT_EQ(when, SimTime::at(Duration::seconds(15)));
+}
+
+TEST(EventQueue, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.schedule_at(SimTime::at(Duration::seconds(10)), [](SimTime) {});
+  q.run_all();
+  EXPECT_DEATH(q.schedule_at(SimTime::at(Duration::seconds(5)), [](SimTime) {}),
+               "past");
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(SimTime::start(), [](SimTime) {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace pathsel::sim

@@ -1,0 +1,114 @@
+#include "sim/load_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pathsel::sim {
+namespace {
+
+LoadModel default_model() { return LoadModel{LoadModelConfig{}}; }
+
+SimTime weekday_at(double hour) {
+  return SimTime::start() + Duration::days(2) + Duration::hours(hour);
+}
+
+TEST(LoadModel, PeakAtConfiguredHour) {
+  const LoadModel m = default_model();
+  EXPECT_GT(m.diurnal_factor(weekday_at(10.0)),
+            m.diurnal_factor(weekday_at(3.0)));
+  EXPECT_GT(m.diurnal_factor(weekday_at(10.0)),
+            m.diurnal_factor(weekday_at(22.0)));
+  EXPECT_NEAR(m.diurnal_factor(weekday_at(10.0)), 1.0, 1e-6);
+}
+
+TEST(LoadModel, TroughMatchesConfig) {
+  LoadModelConfig cfg;
+  cfg.weekday_trough = 0.3;
+  const LoadModel m{cfg};
+  // Far from the peak the factor approaches the trough.
+  EXPECT_NEAR(m.diurnal_factor(weekday_at(22.5)), 0.3, 0.05);
+}
+
+TEST(LoadModel, WeekendIsQuieter) {
+  const LoadModel m = default_model();
+  const SimTime weekday = weekday_at(10.0);
+  const SimTime weekend =
+      SimTime::start() + Duration::days(5) + Duration::hours(10.0);
+  EXPECT_LT(m.diurnal_factor(weekend), m.diurnal_factor(weekday));
+}
+
+TEST(LoadModel, TimezoneOffsetShiftsPeak) {
+  const LoadModel m = default_model();
+  // An east-coast link (+3 h) peaks three hours earlier in trace time.
+  EXPECT_GT(m.diurnal_factor(weekday_at(7.0), 3.0),
+            m.diurnal_factor(weekday_at(7.0), 0.0));
+}
+
+TEST(LoadModel, UtilizationWithinBounds) {
+  const LoadModel m = default_model();
+  const topo::Topology t = test::make_two_as_topology();
+  for (int h = 0; h < 48; ++h) {
+    for (const auto& link : t.links()) {
+      const double u = m.utilization(link, weekday_at(h / 2.0));
+      EXPECT_GE(u, 0.01);
+      EXPECT_LE(u, 0.985);
+    }
+  }
+}
+
+TEST(LoadModel, UtilizationDeterministic) {
+  const LoadModel a = default_model();
+  const LoadModel b = default_model();
+  const topo::Topology t = test::make_two_as_topology();
+  const SimTime when = weekday_at(14.25);
+  EXPECT_DOUBLE_EQ(a.utilization(t.links()[0], when),
+                   b.utilization(t.links()[0], when));
+}
+
+TEST(LoadModel, DifferentSeedsGiveDifferentWeather) {
+  LoadModelConfig c1;
+  LoadModelConfig c2;
+  c2.seed = c1.seed + 1;
+  const LoadModel a{c1};
+  const LoadModel b{c2};
+  const topo::Topology t = test::make_two_as_topology();
+  const SimTime when = weekday_at(14.0);
+  EXPECT_NE(a.utilization(t.links()[0], when),
+            b.utilization(t.links()[0], when));
+}
+
+TEST(LoadModel, WeatherVariesOverTime) {
+  const LoadModel m = default_model();
+  const topo::Topology t = test::make_two_as_topology();
+  // Two instants hours apart at the same diurnal phase on different days.
+  const double u1 = m.utilization(t.links()[0], weekday_at(10.0));
+  const double u2 =
+      m.utilization(t.links()[0], weekday_at(10.0 + 24.0));
+  EXPECT_NE(u1, u2);
+}
+
+TEST(LoadModel, WeatherContinuityAcrossBucketBoundary) {
+  const LoadModel m = default_model();
+  const topo::Topology t = test::make_two_as_topology();
+  // Samples 1 second apart must differ by a small amount (interpolated
+  // field, smooth diurnal curve).
+  const SimTime a = weekday_at(9.0);
+  const SimTime b = a + Duration::seconds(1);
+  EXPECT_NEAR(m.utilization(t.links()[0], a), m.utilization(t.links()[0], b),
+              0.01);
+}
+
+TEST(LoadModel, HigherBaseUtilizationGivesHigherLoad) {
+  const LoadModel m = default_model();
+  topo::Topology t = test::make_two_as_topology();
+  topo::Link lo = t.links()[0];
+  topo::Link hi = t.links()[0];
+  lo.base_utilization = 0.1;
+  hi.base_utilization = 0.8;
+  const SimTime when = weekday_at(10.0);
+  EXPECT_LT(m.utilization(lo, when), m.utilization(hi, when));
+}
+
+}  // namespace
+}  // namespace pathsel::sim

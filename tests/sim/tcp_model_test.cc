@@ -1,0 +1,53 @@
+#include "sim/tcp_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pathsel::sim {
+namespace {
+
+TEST(TcpModel, KnownValue) {
+  // BW = (MSS/RTT) * C / sqrt(p): 1460 B / 0.1 s * 1.2247 / 0.1 = 178.8 kB/s
+  // at p = 0.01.
+  EXPECT_NEAR(mathis_bandwidth_kBps(100.0, 0.01), 178.8, 0.5);
+}
+
+TEST(TcpModel, BandwidthInverseInRtt) {
+  EXPECT_NEAR(mathis_bandwidth_kBps(50.0, 0.01),
+              2.0 * mathis_bandwidth_kBps(100.0, 0.01), 1e-9);
+}
+
+TEST(TcpModel, BandwidthInverseInSqrtLoss) {
+  EXPECT_NEAR(mathis_bandwidth_kBps(100.0, 0.01),
+              2.0 * mathis_bandwidth_kBps(100.0, 0.04), 1e-9);
+}
+
+TEST(TcpModel, LargerMssFaster) {
+  EXPECT_GT(mathis_bandwidth_kBps(100.0, 0.01, 1460.0),
+            mathis_bandwidth_kBps(100.0, 0.01, 536.0));
+}
+
+TEST(TcpModel, SelfLossRoundTrips) {
+  const double rtt = 80.0;
+  const double bw = 250.0;
+  const double p = mathis_self_loss(rtt, bw);
+  EXPECT_NEAR(mathis_bandwidth_kBps(rtt, p), bw, 1e-6);
+}
+
+TEST(TcpModel, SelfLossShrinksWithBandwidth) {
+  EXPECT_GT(mathis_self_loss(100.0, 50.0), mathis_self_loss(100.0, 500.0));
+}
+
+TEST(TcpModel, InvalidArgumentsAbort) {
+  EXPECT_DEATH((void)mathis_bandwidth_kBps(0.0, 0.01), "rtt");
+  EXPECT_DEATH((void)mathis_bandwidth_kBps(10.0, 0.0), "loss");
+  EXPECT_DEATH((void)mathis_self_loss(10.0, 0.0), "positive");
+}
+
+TEST(TcpModel, MathisConstant) {
+  EXPECT_NEAR(kMathisC, std::sqrt(1.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace pathsel::sim

@@ -1,0 +1,81 @@
+#include "stats/cdf.h"
+
+#include <gtest/gtest.h>
+
+namespace pathsel::stats {
+namespace {
+
+TEST(EmpiricalCdf, FractionAtOrBelow) {
+  EmpiricalCdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(9.0), 1.0);
+}
+
+TEST(EmpiricalCdf, FractionAboveComplements) {
+  EmpiricalCdf cdf{{-1.0, 0.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(-2.0), 1.0);
+}
+
+TEST(EmpiricalCdf, AddThenQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.value_at_fraction(0.5), 2.0);
+}
+
+TEST(EmpiricalCdf, SortedValuesAreSorted) {
+  EmpiricalCdf cdf{{3.0, 1.0, 2.0}};
+  const auto v = cdf.sorted_values();
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(EmpiricalCdf, SeriesStaircase) {
+  EmpiricalCdf cdf{{10.0, 20.0}};
+  const Series s = cdf.to_series("s");
+  ASSERT_EQ(s.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.y[0], 0.5);
+  EXPECT_DOUBLE_EQ(s.y[1], 1.0);
+}
+
+TEST(EmpiricalCdf, SeriesTrimmingKeepsUntrimmedFractions) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  EmpiricalCdf cdf{std::move(values)};
+  const Series s = cdf.to_series("t", 0.05, 0.95);
+  // Trimmed series neither starts at 0 nor reaches 1 — like the paper's
+  // long-tail-trimmed figures.
+  EXPECT_GE(s.y.front(), 0.05);
+  EXPECT_LE(s.y.back(), 0.95 + 1e-12);
+  EXPECT_LT(s.x.size(), 100u);
+}
+
+TEST(EmpiricalCdf, SeriesMonotone) {
+  EmpiricalCdf cdf{{5.0, 3.0, 8.0, 1.0, 9.0, 2.0}};
+  const Series s = cdf.to_series("m");
+  for (std::size_t i = 1; i < s.x.size(); ++i) {
+    EXPECT_LE(s.x[i - 1], s.x[i]);
+    EXPECT_LT(s.y[i - 1], s.y[i]);
+  }
+}
+
+TEST(EmpiricalCdf, EmptyQueriesAbort) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DEATH((void)cdf.fraction_at_or_below(0.0), "empty");
+}
+
+TEST(EmpiricalCdf, InvalidTrimAborts) {
+  EmpiricalCdf cdf{{1.0}};
+  EXPECT_DEATH((void)cdf.to_series("x", 0.9, 0.1), "trim");
+}
+
+}  // namespace
+}  // namespace pathsel::stats

@@ -1,0 +1,130 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+TEST(Histogram, BinningAndMass) {
+  Histogram h{0.0, 1.0, 10};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  EXPECT_DOUBLE_EQ(h.total_mass(), 3.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(2), 0.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(3), 1.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.total_mass(), 2.5);
+  EXPECT_DOUBLE_EQ(h.mass_at(0), 2.5);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h{10.0, 2.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 11.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 19.0);
+}
+
+TEST(Histogram, MedianOfSymmetricMass) {
+  Histogram h{0.0, 1.0, 3};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  EXPECT_NEAR(h.median(), 1.5, 0.5);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h{0.0, 10.0, 1};
+  h.add(5.0, 4.0);  // all mass in [0, 10)
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.25), 2.5, 1e-9);
+}
+
+TEST(Histogram, MeanUsesBinCenters) {
+  Histogram h{0.0, 2.0, 3};
+  h.add(0.5);  // center 1
+  h.add(4.5);  // center 5
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, ConvolveDeltas) {
+  // delta at 3 (+) delta at 5 = delta at 8.
+  Histogram a{0.0, 1.0, 10};
+  Histogram b{0.0, 1.0, 10};
+  a.add(3.5);
+  b.add(5.5);
+  const Histogram c = Histogram::convolve(a, b);
+  EXPECT_NEAR(c.median(), 9.0, 1.0);  // bins 3 + 5 -> bin 8, center ~9
+  EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Histogram, ConvolutionMeanIsSumOfMeans) {
+  Rng rng{3};
+  Histogram a{0.0, 1.0, 200};
+  Histogram b{0.0, 1.0, 200};
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.uniform(10.0, 50.0));
+    b.add(rng.uniform(20.0, 80.0));
+  }
+  const Histogram c = Histogram::convolve(a, b);
+  // Means add under convolution (up to binning error of ~1 bin).
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1.5);
+}
+
+TEST(Histogram, ConvolutionMedianOfSymmetric) {
+  // Sum of two symmetric distributions is symmetric about the sum of
+  // centers: median == mean there.
+  Rng rng{4};
+  Histogram a{0.0, 1.0, 100};
+  Histogram b{0.0, 1.0, 100};
+  for (int i = 0; i < 20000; ++i) {
+    a.add(rng.normal(30.0, 3.0));
+    b.add(rng.normal(40.0, 4.0));
+  }
+  const Histogram c = Histogram::convolve(a, b);
+  EXPECT_NEAR(c.median(), 70.0, 1.0);
+}
+
+TEST(Histogram, ConvolveNormalizesWeights) {
+  Histogram a{0.0, 1.0, 5};
+  Histogram b{0.0, 1.0, 5};
+  a.add(0.5, 10.0);
+  b.add(0.5, 7.0);
+  const Histogram c = Histogram::convolve(a, b);
+  EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Histogram, ConvolveMismatchedWidthAborts) {
+  Histogram a{0.0, 1.0, 5};
+  Histogram b{0.0, 2.0, 5};
+  a.add(0.5);
+  b.add(0.5);
+  EXPECT_DEATH((void)Histogram::convolve(a, b), "equal bin widths");
+}
+
+TEST(Histogram, EmptyQuantileAborts) {
+  Histogram h{0.0, 1.0, 5};
+  EXPECT_DEATH((void)h.quantile(0.5), "empty");
+}
+
+TEST(Histogram, InvalidConstructionAborts) {
+  EXPECT_DEATH((Histogram{0.0, 0.0, 5}), "positive");
+  EXPECT_DEATH((Histogram{0.0, 1.0, 0}), "at least one");
+}
+
+}  // namespace
+}  // namespace pathsel::stats

@@ -1,0 +1,82 @@
+#include "stats/ks.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+std::vector<double> normals(double mean, double sd, int n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.normal(mean, sd));
+  return out;
+}
+
+TEST(Ks, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const auto r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(Ks, DisjointSupportsHaveDistanceOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 11.0, 12.0};
+  const auto r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.1);
+}
+
+TEST(Ks, SameDistributionHighPValue) {
+  const auto a = normals(0.0, 1.0, 800, 1);
+  const auto b = normals(0.0, 1.0, 800, 2);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.statistic, 0.08);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Ks, ShiftedDistributionDetected) {
+  const auto a = normals(0.0, 1.0, 800, 3);
+  const auto b = normals(1.0, 1.0, 800, 4);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_GT(r.statistic, 0.3);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(Ks, KnownSmallCase) {
+  // F1 steps at 1,3; F2 steps at 2,4.  Max gap = 0.5 (after 1 or 3).
+  const std::vector<double> a{1.0, 3.0};
+  const std::vector<double> b{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b).statistic, 0.5);
+}
+
+TEST(Ks, SymmetricInArguments) {
+  const auto a = normals(0.0, 2.0, 300, 5);
+  const auto b = normals(0.5, 1.5, 400, 6);
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b).statistic,
+                   ks_two_sample(b, a).statistic);
+}
+
+TEST(Ks, EmptySampleAborts) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> empty;
+  EXPECT_DEATH((void)ks_two_sample(a, empty), "non-empty");
+}
+
+class KsSelfSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsSelfSweep, SameGeneratorRarelyRejected) {
+  const auto a = normals(5.0, 3.0, 400, GetParam());
+  const auto b = normals(5.0, 3.0, 400, GetParam() + 1000);
+  EXPECT_GT(ks_two_sample(a, b).p_value, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsSelfSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace pathsel::stats

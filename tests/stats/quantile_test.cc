@@ -1,0 +1,78 @@
+#include "stats/quantile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pathsel::stats {
+namespace {
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+}
+
+TEST(Quantile, MedianOddCount) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Quantile, MedianEvenCountInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, LinearInterpolationType7) {
+  // R's default (type 7): quantile(c(10,20,30,40), 0.25) == 17.5.
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 17.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 32.5);
+}
+
+TEST(Quantile, TenthPercentileOfUniformGrid) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_NEAR(quantile(v, 0.10), 10.0, 1e-12);
+}
+
+TEST(Quantile, SortedInputFastPath) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptyAborts) {
+  const std::vector<double> v;
+  EXPECT_DEATH((void)quantile(v, 0.5), "empty");
+}
+
+TEST(Quantile, OutOfRangeLevelAborts) {
+  const std::vector<double> v{1.0};
+  EXPECT_DEATH((void)quantile(v, 1.5), "0,1");
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, NonDecreasingInQ) {
+  std::vector<double> v{9.0, 2.0, 7.0, 4.0, 6.0, 1.0, 8.0, 3.0, 5.0};
+  const double q = GetParam();
+  EXPECT_LE(quantile(v, q), quantile(v, std::min(1.0, q + 0.1)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantileMonotone,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace pathsel::stats

@@ -1,0 +1,150 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+TEST(Summary, EmptyState) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, KnownMeanAndVariance) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MatchesNaiveTwoPass) {
+  Rng rng{5};
+  std::vector<double> xs;
+  Summary s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(100.0, 15.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double var = m2 / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Summary, VarianceOfMean) {
+  Summary s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.variance_of_mean(), s.variance() / 10.0, 1e-12);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Rng rng{6};
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 50.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(2.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summary, MeanOfEmptyAborts) {
+  Summary s;
+  EXPECT_DEATH((void)s.mean(), "empty");
+}
+
+TEST(Summary, VarianceRequiresTwoSamples) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DEATH((void)s.variance(), "two samples");
+}
+
+TEST(MeanEstimate, FromSummaryDegreesOfFreedom) {
+  Summary s;
+  for (int i = 0; i < 20; ++i) s.add(static_cast<double>(i % 5));
+  const auto est = MeanEstimate::from_summary(s);
+  EXPECT_DOUBLE_EQ(est.mean, s.mean());
+  EXPECT_NEAR(est.var_of_mean, s.variance_of_mean(), 1e-15);
+  // A single summary recovers the classical n-1 degrees of freedom.
+  EXPECT_NEAR(est.dof(), 19.0, 1e-9);
+}
+
+TEST(MeanEstimate, SumAddsMeansAndVariances) {
+  Summary s1;
+  Summary s2;
+  for (int i = 0; i < 10; ++i) {
+    s1.add(static_cast<double>(i));
+    s2.add(static_cast<double>(2 * i));
+  }
+  const auto a = MeanEstimate::from_summary(s1);
+  const auto b = MeanEstimate::from_summary(s2);
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.mean, a.mean + b.mean);
+  EXPECT_DOUBLE_EQ(sum.var_of_mean, a.var_of_mean + b.var_of_mean);
+  // Welch-Satterthwaite dof of a sum lies between min and the plain sum.
+  EXPECT_GE(sum.dof(), std::min(a.dof(), b.dof()));
+  EXPECT_LE(sum.dof(), a.dof() + b.dof() + 1e-9);
+}
+
+TEST(MeanEstimate, ScaledQuadraticVariance) {
+  Summary s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i));
+  const auto est = MeanEstimate::from_summary(s);
+  const auto scaled = est.scaled(3.0);
+  EXPECT_DOUBLE_EQ(scaled.mean, 3.0 * est.mean);
+  EXPECT_DOUBLE_EQ(scaled.var_of_mean, 9.0 * est.var_of_mean);
+  // Scaling must not change the degrees of freedom.
+  EXPECT_NEAR(scaled.dof(), est.dof(), 1e-9);
+}
+
+TEST(MeanEstimate, RequiresTwoSamples) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DEATH((void)MeanEstimate::from_summary(s), "two samples");
+}
+
+}  // namespace
+}  // namespace pathsel::stats

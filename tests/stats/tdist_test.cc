@@ -1,0 +1,102 @@
+#include "stats/tdist.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pathsel::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3),
+              1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-10);
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (const double v : {1.0, 2.0, 5.0, 30.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, v), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (const double t : {0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentT, CdfOneDofIsCauchy) {
+  // For v = 1 the t distribution is Cauchy: F(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-2.0, -0.5, 0.3, 1.7}) {
+    const double expected = 0.5 + std::atan(t) / std::acos(-1.0);
+    EXPECT_NEAR(student_t_cdf(t, 1.0), expected, 1e-8);
+  }
+}
+
+TEST(StudentT, QuantileKnownTableValues) {
+  // Classical t-table values for the 0.975 quantile.
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.706, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 5.0), 2.571, 0.001);
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228, 0.001);
+  EXPECT_NEAR(student_t_quantile(0.975, 30.0), 2.042, 0.001);
+  // And the 0.95 quantile.
+  EXPECT_NEAR(student_t_quantile(0.95, 1.0), 6.314, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.95, 10.0), 1.812, 0.001);
+}
+
+TEST(StudentT, QuantileApproachesNormal) {
+  // As v grows the 0.975 quantile approaches 1.96.
+  EXPECT_NEAR(student_t_quantile(0.975, 1000.0), 1.962, 0.01);
+}
+
+TEST(StudentT, QuantileAtHalfIsZero) {
+  EXPECT_DOUBLE_EQ(student_t_quantile(0.5, 9.0), 0.0);
+}
+
+TEST(StudentT, QuantileSymmetry) {
+  EXPECT_NEAR(student_t_quantile(0.1, 8.0), -student_t_quantile(0.9, 8.0),
+              1e-8);
+}
+
+class TRoundTrip : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TRoundTrip, QuantileInvertsGivenCdf) {
+  const auto [p, v] = GetParam();
+  const double t = student_t_quantile(p, v);
+  EXPECT_NEAR(student_t_cdf(t, v), p, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TRoundTrip,
+    ::testing::Values(std::pair{0.05, 2.0}, std::pair{0.25, 2.0},
+                      std::pair{0.75, 2.0}, std::pair{0.95, 2.0},
+                      std::pair{0.05, 17.0}, std::pair{0.5, 17.0},
+                      std::pair{0.975, 17.0}, std::pair{0.999, 17.0},
+                      std::pair{0.01, 120.0}, std::pair{0.99, 120.0},
+                      std::pair{0.975, 1.5}, std::pair{0.9, 0.7}));
+
+TEST(StudentT, InvalidArgumentsAbort) {
+  EXPECT_DEATH((void)student_t_quantile(0.0, 5.0), "p in");
+  EXPECT_DEATH((void)student_t_quantile(0.5, 0.0), "positive");
+  EXPECT_DEATH((void)student_t_cdf(1.0, -1.0), "positive");
+}
+
+}  // namespace
+}  // namespace pathsel::stats

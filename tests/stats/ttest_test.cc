@@ -1,0 +1,114 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/tdist.h"
+
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+MeanEstimate estimate_of(std::initializer_list<double> values) {
+  Summary s;
+  for (const double v : values) s.add(v);
+  return MeanEstimate::from_summary(s);
+}
+
+MeanEstimate noisy_estimate(double mean, double sd, int n, std::uint64_t seed) {
+  Rng rng{seed};
+  Summary s;
+  for (int i = 0; i < n; ++i) s.add(rng.normal(mean, sd));
+  return MeanEstimate::from_summary(s);
+}
+
+TEST(WelchTTest, ClearlySeparatedMeansAreSignificant) {
+  const auto a = noisy_estimate(100.0, 5.0, 50, 1);
+  const auto b = noisy_estimate(50.0, 5.0, 50, 2);
+  const auto r = welch_ttest(a, b);
+  EXPECT_EQ(r.verdict, Significance::kBetter);
+  EXPECT_NEAR(r.difference, 50.0, 3.0);
+  EXPECT_GT(r.half_width, 0.0);
+}
+
+TEST(WelchTTest, ReversedMeansAreWorse) {
+  const auto a = noisy_estimate(50.0, 5.0, 50, 3);
+  const auto b = noisy_estimate(100.0, 5.0, 50, 4);
+  EXPECT_EQ(welch_ttest(a, b).verdict, Significance::kWorse);
+}
+
+TEST(WelchTTest, OverlappingMeansIndeterminate) {
+  const auto a = noisy_estimate(100.0, 30.0, 10, 5);
+  const auto b = noisy_estimate(101.0, 30.0, 10, 6);
+  EXPECT_EQ(welch_ttest(a, b).verdict, Significance::kIndeterminate);
+}
+
+TEST(WelchTTest, ZeroVarianceEqualMeansIsZeroClass) {
+  // Loss-rate case: no losses at all on either path.
+  const auto a = estimate_of({0.0, 0.0, 0.0});
+  const auto b = estimate_of({0.0, 0.0, 0.0});
+  const auto r = welch_ttest(a, b);
+  EXPECT_EQ(r.verdict, Significance::kZero);
+  EXPECT_DOUBLE_EQ(r.difference, 0.0);
+}
+
+TEST(WelchTTest, ZeroVarianceDifferentMeans) {
+  const auto a = estimate_of({2.0, 2.0, 2.0});
+  const auto b = estimate_of({1.0, 1.0, 1.0});
+  EXPECT_EQ(welch_ttest(a, b).verdict, Significance::kBetter);
+  EXPECT_EQ(welch_ttest(b, a).verdict, Significance::kWorse);
+}
+
+TEST(WelchTTest, HalfWidthMatchesClassicFormula) {
+  // Equal-variance equal-n case: dof ~= 2n - 2, hw = t * sqrt(2 s^2 / n).
+  Summary s1;
+  Summary s2;
+  Rng rng{7};
+  for (int i = 0; i < 30; ++i) {
+    s1.add(rng.normal(10.0, 2.0));
+    s2.add(rng.normal(10.0, 2.0));
+  }
+  const auto r = welch_ttest(MeanEstimate::from_summary(s1),
+                             MeanEstimate::from_summary(s2));
+  EXPECT_NEAR(r.dof, 58.0, 6.0);
+  const double expected_hw =
+      student_t_quantile(0.975, r.dof) *
+      std::sqrt(s1.variance_of_mean() + s2.variance_of_mean());
+  EXPECT_NEAR(r.half_width, expected_hw, 1e-9);
+}
+
+TEST(WelchTTest, WiderConfidenceWidensInterval) {
+  const auto a = noisy_estimate(10.0, 3.0, 20, 8);
+  const auto b = noisy_estimate(11.0, 3.0, 20, 9);
+  const auto r95 = welch_ttest(a, b, 0.95);
+  const auto r99 = welch_ttest(a, b, 0.99);
+  EXPECT_GT(r99.half_width, r95.half_width);
+}
+
+TEST(WelchTTest, CompositeAlternateEstimate) {
+  // The alternate estimate of a two-hop path: the t-test consumes the summed
+  // uncertainty exactly like a directly measured path.
+  const auto leg1 = noisy_estimate(30.0, 4.0, 40, 10);
+  const auto leg2 = noisy_estimate(35.0, 4.0, 40, 11);
+  const auto direct = noisy_estimate(100.0, 4.0, 40, 12);
+  const auto r = welch_ttest(direct, leg1 + leg2);
+  EXPECT_EQ(r.verdict, Significance::kBetter);
+  EXPECT_NEAR(r.difference, 35.0, 4.0);
+}
+
+TEST(WelchTTest, SignificanceToString) {
+  EXPECT_STREQ(to_string(Significance::kBetter), "better");
+  EXPECT_STREQ(to_string(Significance::kWorse), "worse");
+  EXPECT_STREQ(to_string(Significance::kIndeterminate), "indeterminate");
+  EXPECT_STREQ(to_string(Significance::kZero), "zero");
+}
+
+TEST(WelchTTest, InvalidConfidenceAborts) {
+  const auto a = estimate_of({1.0, 2.0});
+  EXPECT_DEATH((void)welch_ttest(a, a, 1.0), "confidence");
+}
+
+}  // namespace
+}  // namespace pathsel::stats

@@ -1,0 +1,220 @@
+#include "topo/generator.h"
+
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pathsel::topo {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed, bool world = false) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.backbone_count = 4;
+  cfg.regional_count = 8;
+  cfg.stub_count = 20;
+  cfg.world = world;
+  return cfg;
+}
+
+bool router_graph_connected(const Topology& t) {
+  if (t.router_count() == 0) return true;
+  std::vector<bool> seen(t.router_count(), false);
+  std::queue<RouterId> q;
+  q.push(RouterId{0});
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const RouterId u = q.front();
+    q.pop();
+    for (const auto& inc : t.neighbors(u)) {
+      if (!seen[inc.neighbor.index()]) {
+        seen[inc.neighbor.index()] = true;
+        ++visited;
+        q.push(inc.neighbor);
+      }
+    }
+  }
+  return visited == t.router_count();
+}
+
+TEST(Generator, ProducesRequestedAsCounts) {
+  const Topology t = generate_topology(small_config(1));
+  int backbones = 0;
+  int regionals = 0;
+  int stubs = 0;
+  for (const auto& as : t.ases()) {
+    switch (as.tier) {
+      case AsTier::kBackbone: ++backbones; break;
+      case AsTier::kRegional: ++regionals; break;
+      case AsTier::kStub: ++stubs; break;
+    }
+  }
+  EXPECT_EQ(backbones, 5);  // 4 commercial + research
+  EXPECT_EQ(regionals, 8);
+  EXPECT_EQ(stubs, 20);
+}
+
+TEST(Generator, RouterGraphIsConnected) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
+    const Topology t = generate_topology(small_config(seed));
+    EXPECT_TRUE(router_graph_connected(t)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, EveryStubHasACommercialProvider) {
+  const Topology t = generate_topology(small_config(5));
+  for (const auto& as : t.ases()) {
+    if (as.tier != AsTier::kStub) continue;
+    bool has_commercial = false;
+    for (const AsId p : as.providers) {
+      if (t.as_at(p).name != "RESEARCH-NET") has_commercial = true;
+    }
+    EXPECT_TRUE(has_commercial) << as.name;
+  }
+}
+
+TEST(Generator, BackbonesPeerFullMesh) {
+  const Topology t = generate_topology(small_config(7));
+  std::vector<AsId> commercial;
+  for (const auto& as : t.ases()) {
+    if (as.tier == AsTier::kBackbone && as.name != "RESEARCH-NET") {
+      commercial.push_back(as.id);
+    }
+  }
+  for (std::size_t i = 0; i < commercial.size(); ++i) {
+    for (std::size_t j = i + 1; j < commercial.size(); ++j) {
+      const auto& peers = t.as_at(commercial[i]).peers;
+      EXPECT_NE(std::find(peers.begin(), peers.end(), commercial[j]),
+                peers.end());
+      EXPECT_TRUE(t.adjacent(commercial[i], commercial[j]));
+    }
+  }
+}
+
+TEST(Generator, ResearchBackboneHasOnlyCustomers) {
+  const Topology t = generate_topology(small_config(9));
+  for (const auto& as : t.ases()) {
+    if (as.name != "RESEARCH-NET") continue;
+    EXPECT_TRUE(as.providers.empty());
+    EXPECT_TRUE(as.peers.empty());
+    EXPECT_FALSE(as.customers.empty());
+  }
+}
+
+TEST(Generator, ResearchDisabledWhenFractionZero) {
+  GeneratorConfig cfg = small_config(11);
+  cfg.research_member_fraction = 0.0;
+  const Topology t = generate_topology(cfg);
+  for (const auto& as : t.ases()) {
+    EXPECT_NE(as.name, "RESEARCH-NET");
+  }
+}
+
+TEST(Generator, RelationsHaveBackingLinks) {
+  const Topology t = generate_topology(small_config(13));
+  for (const auto& as : t.ases()) {
+    for (const AsId customer : as.customers) {
+      EXPECT_TRUE(t.adjacent(as.id, customer))
+          << as.name << " -> " << t.as_at(customer).name;
+    }
+  }
+}
+
+TEST(Generator, NaOnlyWorldHasNoInternationalHosts) {
+  const Topology t = generate_topology(small_config(15, false));
+  for (const auto& h : t.hosts()) {
+    EXPECT_EQ(h.region, Region::kNorthAmerica);
+  }
+}
+
+TEST(Generator, WorldConfigPlacesInternationalHosts) {
+  GeneratorConfig cfg = small_config(17, true);
+  cfg.stub_count = 40;
+  const Topology t = generate_topology(cfg);
+  int intl = 0;
+  for (const auto& h : t.hosts()) {
+    intl += h.region != Region::kNorthAmerica ? 1 : 0;
+  }
+  EXPECT_GT(intl, 0);
+  EXPECT_TRUE(router_graph_connected(t));
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Topology a = generate_topology(small_config(21));
+  const Topology b = generate_topology(small_config(21));
+  ASSERT_EQ(a.router_count(), b.router_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+    EXPECT_DOUBLE_EQ(a.links()[i].base_utilization,
+                     b.links()[i].base_utilization);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Topology a = generate_topology(small_config(22));
+  const Topology b = generate_topology(small_config(23));
+  bool differs = a.link_count() != b.link_count();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.link_count(); ++i) {
+      if (a.links()[i].base_utilization != b.links()[i].base_utilization) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, PublicExchangeLinksAtExchangeCities) {
+  const Topology t = generate_topology(small_config(25));
+  int exchange_links = 0;
+  for (const auto& l : t.links()) {
+    if (l.kind != LinkKind::kPublicExchange) continue;
+    ++exchange_links;
+    EXPECT_TRUE(cities()[t.router(l.a).city].exchange_point);
+    EXPECT_EQ(t.router(l.a).city, t.router(l.b).city);
+  }
+  EXPECT_GT(exchange_links, 0);
+}
+
+TEST(Generator, HopCountIgpUsesUnitMetrics) {
+  const Topology t = generate_topology(small_config(27));
+  for (const auto& l : t.links()) {
+    if (l.kind != LinkKind::kIntraAs) continue;
+    const auto& as = t.as_at(t.router(l.a).as);
+    if (as.igp == IgpPolicy::kHopCount) {
+      EXPECT_DOUBLE_EQ(l.igp_metric, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(l.igp_metric, l.prop_delay_ms);
+    }
+  }
+}
+
+TEST(Generator, UtilizationsWithinBounds) {
+  const Topology t = generate_topology(small_config(29));
+  for (const auto& l : t.links()) {
+    EXPECT_GE(l.base_utilization, 0.03);
+    EXPECT_LE(l.base_utilization, 0.95);
+    EXPECT_GT(l.capacity_mbps, 0.0);
+  }
+}
+
+TEST(Generator, HostsPerStub) {
+  GeneratorConfig cfg = small_config(31);
+  cfg.hosts_per_stub = 2;
+  const Topology t = generate_topology(cfg);
+  EXPECT_EQ(t.host_count(), 40u);
+}
+
+TEST(Generator, InvalidConfigAborts) {
+  GeneratorConfig cfg = small_config(1);
+  cfg.backbone_count = 1;
+  EXPECT_DEATH((void)generate_topology(cfg), "two backbones");
+}
+
+}  // namespace
+}  // namespace pathsel::topo

@@ -1,0 +1,98 @@
+#include "topo/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace pathsel::topo {
+namespace {
+
+const City& city_by_name(std::string_view name) {
+  for (const City& c : cities()) {
+    if (c.name == name) return c;
+  }
+  ADD_FAILURE() << "city not found: " << name;
+  return cities()[0];
+}
+
+TEST(Geo, ZeroDistanceToSelf) {
+  const City& sea = city_by_name("SEA");
+  EXPECT_DOUBLE_EQ(great_circle_km(sea.location, sea.location), 0.0);
+}
+
+TEST(Geo, DistanceIsSymmetric) {
+  const City& a = city_by_name("SEA");
+  const City& b = city_by_name("MIA");
+  EXPECT_DOUBLE_EQ(great_circle_km(a.location, b.location),
+                   great_circle_km(b.location, a.location));
+}
+
+TEST(Geo, KnownDistances) {
+  EXPECT_NEAR(great_circle_km(city_by_name("SEA").location,
+                              city_by_name("BOS").location),
+              4000.0, 150.0);
+  EXPECT_NEAR(great_circle_km(city_by_name("NYC").location,
+                              city_by_name("LON").location),
+              5570.0, 150.0);
+  EXPECT_NEAR(great_circle_km(city_by_name("SFO").location,
+                              city_by_name("LAX").location),
+              560.0, 60.0);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const auto near_ms = propagation_delay_ms(city_by_name("SFO").location,
+                                            city_by_name("SJC").location);
+  const auto far_ms = propagation_delay_ms(city_by_name("SEA").location,
+                                           city_by_name("MIA").location);
+  EXPECT_LT(near_ms, far_ms);
+  // Cross-country one-way fiber delay is on the order of 20-35 ms.
+  EXPECT_GT(far_ms, 15.0);
+  EXPECT_LT(far_ms, 45.0);
+}
+
+TEST(Geo, TriangleInequalityOnSample) {
+  const auto ab = great_circle_km(city_by_name("SEA").location,
+                                  city_by_name("CHI").location);
+  const auto bc = great_circle_km(city_by_name("CHI").location,
+                                  city_by_name("NYC").location);
+  const auto ac = great_circle_km(city_by_name("SEA").location,
+                                  city_by_name("NYC").location);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST(Geo, NorthAmericanPrefix) {
+  const auto na = north_american_cities();
+  EXPECT_GE(na.size(), 20u);
+  for (const City& c : na) {
+    EXPECT_EQ(c.region, Region::kNorthAmerica) << c.name;
+  }
+  EXPECT_GT(cities().size(), na.size());
+  for (std::size_t i = na.size(); i < cities().size(); ++i) {
+    EXPECT_NE(cities()[i].region, Region::kNorthAmerica);
+  }
+}
+
+TEST(Geo, ExchangePointsExist) {
+  int na_exchanges = 0;
+  int world_exchanges = 0;
+  for (const City& c : cities()) {
+    if (!c.exchange_point) continue;
+    (c.region == Region::kNorthAmerica ? na_exchanges : world_exchanges) += 1;
+  }
+  EXPECT_GE(na_exchanges, 3);
+  EXPECT_GE(world_exchanges, 1);
+}
+
+TEST(Geo, CityNamesUnique) {
+  for (std::size_t i = 0; i < cities().size(); ++i) {
+    for (std::size_t j = i + 1; j < cities().size(); ++j) {
+      EXPECT_NE(cities()[i].name, cities()[j].name);
+    }
+  }
+}
+
+TEST(Geo, RegionToString) {
+  EXPECT_STREQ(to_string(Region::kNorthAmerica), "NA");
+  EXPECT_STREQ(to_string(Region::kEurope), "EU");
+}
+
+}  // namespace
+}  // namespace pathsel::topo

@@ -1,0 +1,157 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pathsel::topo {
+namespace {
+
+TEST(Topology, BuildersAssignSequentialIds) {
+  Topology t;
+  const AsId a0 = t.add_as(AsTier::kBackbone, IgpPolicy::kDelay, "a");
+  const AsId a1 = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "b");
+  EXPECT_EQ(a0.value(), 0);
+  EXPECT_EQ(a1.value(), 1);
+  const RouterId r0 = t.add_router(a0, 0, "r0");
+  const RouterId r1 = t.add_router(a1, 1, "r1");
+  EXPECT_EQ(r0.value(), 0);
+  EXPECT_EQ(r1.value(), 1);
+  EXPECT_EQ(t.as_count(), 2u);
+  EXPECT_EQ(t.router_count(), 2u);
+}
+
+TEST(Topology, RouterInheritsCityLocation) {
+  Topology t;
+  const AsId as = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "s");
+  const RouterId r = t.add_router(as, 3, "r");
+  EXPECT_EQ(t.router(r).city, 3u);
+  EXPECT_DOUBLE_EQ(t.router(r).location.lat_deg, cities()[3].location.lat_deg);
+}
+
+TEST(Topology, LinkComputesPropagationDelay) {
+  const Topology t = test::make_two_as_topology();
+  // SEA <-> NYC backbone link: one-way delay should be ~ 20-35 ms.
+  const Link& l = t.link(LinkId{0});
+  EXPECT_GT(l.prop_delay_ms, 15.0);
+  EXPECT_LT(l.prop_delay_ms, 45.0);
+  EXPECT_EQ(l.kind, LinkKind::kIntraAs);
+}
+
+TEST(Topology, IntraCityLinkHasFloorDelay) {
+  Topology t;
+  const AsId as = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "s");
+  const RouterId r0 = t.add_router(as, 0, "r0");
+  const RouterId r1 = t.add_router(as, 0, "r1");
+  const LinkId l = t.add_link(r0, r1, LinkKind::kIntraAs, 45.0, 0.2);
+  EXPECT_GE(t.link(l).prop_delay_ms, 0.1);
+}
+
+TEST(Topology, TimezoneOffsetFollowsLongitude) {
+  const Topology t = test::make_two_as_topology();
+  // SEA-NYC link midpoint is well east of PST: positive offset.
+  EXPECT_GT(t.link(LinkId{0}).timezone_offset_hours, 0.5);
+}
+
+TEST(Topology, LinkKindMustMatchEndpoints) {
+  Topology t;
+  const AsId a = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "a");
+  const AsId b = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "b");
+  const RouterId ra = t.add_router(a, 0, "ra");
+  const RouterId rb = t.add_router(b, 1, "rb");
+  EXPECT_DEATH(t.add_link(ra, rb, LinkKind::kIntraAs, 45.0, 0.2),
+               "inconsistent");
+  const RouterId ra2 = t.add_router(a, 2, "ra2");
+  EXPECT_DEATH(t.add_link(ra, ra2, LinkKind::kTransit, 45.0, 0.2),
+               "inconsistent");
+}
+
+TEST(Topology, SelfLoopAborts) {
+  Topology t;
+  const AsId a = t.add_as(AsTier::kStub, IgpPolicy::kHopCount, "a");
+  const RouterId r = t.add_router(a, 0, "r");
+  EXPECT_DEATH(t.add_link(r, r, LinkKind::kIntraAs, 45.0, 0.2), "self-loop");
+}
+
+TEST(Topology, NeighborsListsBothDirections) {
+  const Topology t = test::make_two_as_topology();
+  const auto& sea = t.neighbors(RouterId{0});
+  ASSERT_EQ(sea.size(), 2u);  // NYC (intra) + CHI (transit)
+  const auto& nyc = t.neighbors(RouterId{1});
+  ASSERT_EQ(nyc.size(), 1u);
+  EXPECT_EQ(nyc[0].neighbor, RouterId{0});
+}
+
+TEST(Topology, LinksBetweenFindsInterAsLinks) {
+  const Topology t = test::make_two_as_topology();
+  const auto links = t.links_between(AsId{0}, AsId{1});
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(t.link(links[0]).kind, LinkKind::kTransit);
+  EXPECT_TRUE(t.adjacent(AsId{0}, AsId{1}));
+  EXPECT_TRUE(t.adjacent(AsId{1}, AsId{0}));
+}
+
+TEST(Topology, OtherEnd) {
+  const Topology t = test::make_two_as_topology();
+  const Link& l = t.link(LinkId{0});
+  EXPECT_EQ(t.other_end(l.id, l.a), l.b);
+  EXPECT_EQ(t.other_end(l.id, l.b), l.a);
+  EXPECT_DEATH((void)t.other_end(l.id, RouterId{2}), "not on link");
+}
+
+TEST(Topology, RelationsWireBothSides) {
+  const Topology t = test::make_two_as_topology();
+  const auto& bb = t.as_at(AsId{0});
+  const auto& st = t.as_at(AsId{1});
+  ASSERT_EQ(bb.customers.size(), 1u);
+  EXPECT_EQ(bb.customers[0], AsId{1});
+  ASSERT_EQ(st.providers.size(), 1u);
+  EXPECT_EQ(st.providers[0], AsId{0});
+  EXPECT_TRUE(bb.peers.empty());
+}
+
+TEST(Topology, PeerRelation) {
+  Topology t;
+  const AsId a = t.add_as(AsTier::kBackbone, IgpPolicy::kDelay, "a");
+  const AsId b = t.add_as(AsTier::kBackbone, IgpPolicy::kDelay, "b");
+  t.add_relation(a, b, AsRelation::kPeerOf);
+  EXPECT_EQ(t.as_at(a).peers.size(), 1u);
+  EXPECT_EQ(t.as_at(b).peers.size(), 1u);
+}
+
+TEST(Topology, PreferredProviderMustBeProvider) {
+  Topology t = test::make_two_as_topology();
+  t.set_preferred_provider(AsId{1}, AsId{0});
+  EXPECT_EQ(t.as_at(AsId{1}).preferred_provider, AsId{0});
+  EXPECT_DEATH(t.set_preferred_provider(AsId{0}, AsId{1}), "actual provider");
+}
+
+TEST(Topology, HostAttachesAndInheritsRegion) {
+  const Topology t = test::make_two_as_topology();
+  EXPECT_EQ(t.host_count(), 3u);
+  EXPECT_EQ(t.host(HostId{0}).region, Region::kNorthAmerica);
+  EXPECT_FALSE(t.host(HostId{0}).icmp_rate_limited);
+}
+
+TEST(Topology, UnknownIdsAbort) {
+  const Topology t = test::make_two_as_topology();
+  EXPECT_DEATH((void)t.router(RouterId{99}), "unknown");
+  EXPECT_DEATH((void)t.link(LinkId{99}), "unknown");
+  EXPECT_DEATH((void)t.host(HostId{99}), "unknown");
+  EXPECT_DEATH((void)t.as_at(AsId{99}), "unknown");
+}
+
+TEST(Ids, StrongTypesCompareAndHash) {
+  const HostId a{1};
+  const HostId b{1};
+  const HostId c{2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(std::hash<HostId>{}(a), std::hash<HostId>{}(b));
+  EXPECT_FALSE(HostId{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace pathsel::topo

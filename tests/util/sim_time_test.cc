@@ -1,0 +1,90 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace pathsel {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).total_millis(), 1000);
+  EXPECT_EQ(Duration::minutes(1).total_millis(), 60'000);
+  EXPECT_EQ(Duration::hours(1).total_millis(), 3'600'000);
+  EXPECT_EQ(Duration::days(1).total_millis(), 86'400'000);
+}
+
+TEST(Duration, TotalConversions) {
+  const Duration d = Duration::hours(36);
+  EXPECT_DOUBLE_EQ(d.total_seconds(), 36 * 3600.0);
+  EXPECT_DOUBLE_EQ(d.total_hours(), 36.0);
+  EXPECT_DOUBLE_EQ(d.total_days(), 1.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::minutes(90);
+  const Duration b = Duration::minutes(30);
+  EXPECT_EQ((a + b).total_millis(), Duration::hours(2).total_millis());
+  EXPECT_EQ((a - b).total_millis(), Duration::hours(1).total_millis());
+  EXPECT_EQ((b * 3.0).total_millis(), a.total_millis());
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::seconds(59), Duration::minutes(1));
+  EXPECT_EQ(Duration::seconds(60), Duration::minutes(1));
+  EXPECT_GT(Duration::hours(25), Duration::days(1));
+}
+
+TEST(SimTime, StartIsDayZeroMonday) {
+  const SimTime t = SimTime::start();
+  EXPECT_EQ(t.day_index(), 0);
+  EXPECT_EQ(t.day_of_week(), 0);
+  EXPECT_FALSE(t.is_weekend());
+  EXPECT_DOUBLE_EQ(t.hour_of_day(), 0.0);
+}
+
+TEST(SimTime, DayOfWeekCycles) {
+  for (int day = 0; day < 21; ++day) {
+    const SimTime t = SimTime::start() + Duration::days(day);
+    EXPECT_EQ(t.day_of_week(), day % 7) << "day " << day;
+  }
+}
+
+TEST(SimTime, WeekendIsSaturdaySunday) {
+  EXPECT_FALSE((SimTime::start() + Duration::days(4)).is_weekend());  // Fri
+  EXPECT_TRUE((SimTime::start() + Duration::days(5)).is_weekend());   // Sat
+  EXPECT_TRUE((SimTime::start() + Duration::days(6)).is_weekend());   // Sun
+  EXPECT_FALSE((SimTime::start() + Duration::days(7)).is_weekend());  // Mon
+}
+
+TEST(SimTime, HourOfDay) {
+  const SimTime t =
+      SimTime::start() + Duration::days(3) + Duration::hours(13.5);
+  EXPECT_DOUBLE_EQ(t.hour_of_day(), 13.5);
+}
+
+TEST(SimTime, DifferenceAndAddition) {
+  const SimTime a = SimTime::start() + Duration::hours(5);
+  const SimTime b = SimTime::start() + Duration::hours(8);
+  EXPECT_EQ((b - a).total_millis(), Duration::hours(3).total_millis());
+  EXPECT_EQ(a + Duration::hours(3), b);
+}
+
+TEST(SimTime, Ordering) {
+  const SimTime a = SimTime::at(Duration::seconds(10));
+  const SimTime b = SimTime::at(Duration::seconds(20));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::at(Duration::seconds(10)));
+}
+
+TEST(SimTime, ToStringFormat) {
+  const SimTime t = SimTime::start() + Duration::days(2) +
+                    Duration::hours(3) + Duration::minutes(4) +
+                    Duration::seconds(5);
+  EXPECT_EQ(to_string(t), "day 2 03:04:05");
+}
+
+TEST(Duration, ToStringFormat) {
+  EXPECT_EQ(to_string(Duration::millis(1500)), "1.500s");
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pathsel {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t{"demo"};
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Columns align: "value" and "22" start at the same offset on their lines.
+  const auto pos_header = out.find("value");
+  const auto line_start_header = out.rfind('\n', pos_header);
+  const auto pos_22 = out.find("22");
+  const auto line_start_22 = out.rfind('\n', pos_22);
+  EXPECT_EQ(pos_header - line_start_header, pos_22 - line_start_22);
+}
+
+TEST(Table, RowArityMismatchAborts) {
+  Table t{"bad"};
+  t.set_header({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PctFormatsFractions) {
+  EXPECT_EQ(Table::pct(0.25), "25%");
+  EXPECT_EQ(Table::pct(0.333, 1), "33.3%");
+  EXPECT_EQ(Table::pct(1.0), "100%");
+}
+
+TEST(PrintSeries, EmitsCsvBlocks) {
+  std::ostringstream os;
+  print_series(os, "Figure X", {Series{"one", {1.0, 2.0}, {0.5, 1.0}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Figure X"), std::string::npos);
+  EXPECT_NE(out.find("# series: one"), std::string::npos);
+  EXPECT_NE(out.find("x,y"), std::string::npos);
+  EXPECT_NE(out.find("1,0.5"), std::string::npos);
+  EXPECT_NE(out.find("2,1"), std::string::npos);
+}
+
+TEST(PrintSeries, MismatchedSizesAbort) {
+  std::ostringstream os;
+  EXPECT_DEATH(print_series(os, "bad", {Series{"s", {1.0}, {}}}), "mismatch");
+}
+
+TEST(PrintSeries, MultipleSeries) {
+  std::ostringstream os;
+  print_series(os, "F", {Series{"a", {1}, {1}}, Series{"b", {2}, {2}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# series: a"), std::string::npos);
+  EXPECT_NE(out.find("# series: b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -1,0 +1,190 @@
+// pathsel command-line tool.
+//
+//   pathsel_cli generate --dataset UW3 [--scale S] [--seed N] --out FILE
+//       Regenerate one of the paper's datasets and save it.
+//   pathsel_cli info --in FILE
+//       Print a dataset's characteristics (its Table 1 row).
+//   pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth
+//                       [--min-samples N] [--one-hop] [--csv]
+//       Run the alternate-path analysis on a saved dataset.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/alternate.h"
+#include "core/bandwidth.h"
+#include "core/confidence.h"
+#include "core/figures.h"
+#include "core/path_table.h"
+#include "meas/catalog.h"
+#include "meas/serialize.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pathsel;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pathsel_cli generate --dataset NAME [--scale S] [--seed N] --out FILE\n"
+               "  pathsel_cli info --in FILE\n"
+               "  pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth\n"
+               "                      [--min-samples N] [--one-hop] [--csv]\n"
+               "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "one-hop" || key == "csv") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const auto dataset = flags.find("dataset");
+  const auto out = flags.find("out");
+  if (dataset == flags.end() || out == flags.end()) return usage();
+
+  meas::CatalogConfig cfg;
+  if (const auto it = flags.find("scale"); it != flags.end()) {
+    cfg.scale = std::atof(it->second.c_str());
+  }
+  if (const auto it = flags.find("seed"); it != flags.end()) {
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+  }
+  meas::Catalog catalog{cfg};
+  const meas::Dataset& ds = catalog.by_name(dataset->second);
+
+  std::ofstream os{out->second};
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out->second.c_str());
+    return 1;
+  }
+  meas::write_dataset(os, ds);
+  std::printf("wrote %s: %zu hosts, %zu measurements (%zu completed)\n",
+              out->second.c_str(), ds.hosts.size(), ds.measurements.size(),
+              ds.completed_count());
+  return 0;
+}
+
+std::optional<meas::Dataset> load(const std::map<std::string, std::string>& flags) {
+  const auto in = flags.find("in");
+  if (in == flags.end()) return std::nullopt;
+  std::ifstream is{in->second};
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", in->second.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  auto ds = meas::read_dataset(is, &error);
+  if (!ds.has_value()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+  }
+  return ds;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  const auto ds = load(flags);
+  if (!ds.has_value()) return 1;
+  Table table{"dataset " + ds->name};
+  table.set_header({"field", "value"});
+  table.add_row({"kind", ds->kind == meas::MeasurementKind::kTraceroute
+                             ? "traceroute"
+                             : "tcp transfers"});
+  table.add_row({"duration", Table::fmt(ds->duration.total_days(), 1) + " days"});
+  table.add_row({"hosts", std::to_string(ds->hosts.size())});
+  table.add_row({"measurements", std::to_string(ds->measurements.size())});
+  table.add_row({"completed", std::to_string(ds->completed_count())});
+  table.add_row({"paths covered",
+                 std::to_string(ds->covered_paths()) + " / " +
+                     std::to_string(ds->potential_paths())});
+  table.add_row({"episodes", std::to_string(ds->episode_count)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_analyze(const std::map<std::string, std::string>& flags) {
+  const auto ds = load(flags);
+  if (!ds.has_value()) return 1;
+  const auto metric_it = flags.find("metric");
+  const std::string metric = metric_it == flags.end() ? "rtt" : metric_it->second;
+
+  core::BuildOptions build;
+  build.min_samples = 30;
+  if (const auto it = flags.find("min-samples"); it != flags.end()) {
+    build.min_samples = std::atoi(it->second.c_str());
+  }
+  const auto table = core::PathTable::build(*ds, build);
+  std::printf("path graph: %zu measured paths over %zu hosts\n",
+              table.edges().size(), table.hosts().size());
+
+  if (metric == "bandwidth") {
+    if (ds->kind != meas::MeasurementKind::kTcpTransfer) {
+      std::fprintf(stderr, "bandwidth analysis needs a tcp dataset\n");
+      return 1;
+    }
+    for (const auto& [label, comp] :
+         {std::pair{"optimistic", core::LossComposition::kOptimistic},
+          std::pair{"pessimistic", core::LossComposition::kPessimistic}}) {
+      const auto results = core::analyze_bandwidth(table, comp);
+      const auto cdf = core::bandwidth_improvement_cdf(results);
+      std::printf("%s: %zu pairs, %.0f%% with a better one-hop alternate\n",
+                  label, results.size(), 100.0 * cdf.fraction_above(0.0));
+    }
+    return 0;
+  }
+
+  core::AnalyzerOptions analyze;
+  if (metric == "rtt") {
+    analyze.metric = core::Metric::kRtt;
+  } else if (metric == "loss") {
+    analyze.metric = core::Metric::kLoss;
+  } else {
+    return usage();
+  }
+  if (flags.contains("one-hop")) analyze.max_intermediate_hosts = 1;
+
+  const auto results = core::analyze_alternate_paths(table, analyze);
+  const auto cdf = core::improvement_cdf(results);
+  const auto tally = core::classify_significance(results);
+  std::printf("pairs analyzed: %zu\n", results.size());
+  std::printf("better alternate exists: %.0f%%\n",
+              100.0 * cdf.fraction_above(0.0));
+  std::printf("95%% significant: better %.0f%%, indeterminate %.0f%%, "
+              "worse %.0f%%\n",
+              100.0 * tally.better, 100.0 * tally.indeterminate,
+              100.0 * tally.worse);
+  if (flags.contains("csv")) {
+    const auto series = cdf.to_series("improvement");
+    std::printf("improvement,fraction\n");
+    for (std::size_t i = 0; i < series.x.size(); ++i) {
+      std::printf("%.6g,%.6g\n", series.x[i], series.y[i]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (command == "generate") return cmd_generate(flags);
+  if (command == "info") return cmd_info(flags);
+  if (command == "analyze") return cmd_analyze(flags);
+  return usage();
+}
