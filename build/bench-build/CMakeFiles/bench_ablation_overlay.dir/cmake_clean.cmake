@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overlay"
+  "../bench/bench_ablation_overlay.pdb"
+  "CMakeFiles/bench_ablation_overlay.dir/bench_ablation_overlay.cc.o"
+  "CMakeFiles/bench_ablation_overlay.dir/bench_ablation_overlay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

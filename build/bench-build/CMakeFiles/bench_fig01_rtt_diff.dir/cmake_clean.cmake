@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_rtt_diff"
+  "../bench/bench_fig01_rtt_diff.pdb"
+  "CMakeFiles/bench_fig01_rtt_diff.dir/bench_fig01_rtt_diff.cc.o"
+  "CMakeFiles/bench_fig01_rtt_diff.dir/bench_fig01_rtt_diff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rtt_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_rtt_ratio"
+  "../bench/bench_fig02_rtt_ratio.pdb"
+  "CMakeFiles/bench_fig02_rtt_ratio.dir/bench_fig02_rtt_ratio.cc.o"
+  "CMakeFiles/bench_fig02_rtt_ratio.dir/bench_fig02_rtt_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_rtt_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

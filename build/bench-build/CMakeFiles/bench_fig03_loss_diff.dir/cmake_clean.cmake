@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_loss_diff"
+  "../bench/bench_fig03_loss_diff.pdb"
+  "CMakeFiles/bench_fig03_loss_diff.dir/bench_fig03_loss_diff.cc.o"
+  "CMakeFiles/bench_fig03_loss_diff.dir/bench_fig03_loss_diff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_loss_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

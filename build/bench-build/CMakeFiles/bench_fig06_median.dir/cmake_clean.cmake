@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_median"
+  "../bench/bench_fig06_median.pdb"
+  "CMakeFiles/bench_fig06_median.dir/bench_fig06_median.cc.o"
+  "CMakeFiles/bench_fig06_median.dir/bench_fig06_median.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

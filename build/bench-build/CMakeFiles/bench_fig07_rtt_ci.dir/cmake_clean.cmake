@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_rtt_ci"
+  "../bench/bench_fig07_rtt_ci.pdb"
+  "CMakeFiles/bench_fig07_rtt_ci.dir/bench_fig07_rtt_ci.cc.o"
+  "CMakeFiles/bench_fig07_rtt_ci.dir/bench_fig07_rtt_ci.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_rtt_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

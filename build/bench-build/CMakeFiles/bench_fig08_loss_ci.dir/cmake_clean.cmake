@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_loss_ci"
+  "../bench/bench_fig08_loss_ci.pdb"
+  "CMakeFiles/bench_fig08_loss_ci.dir/bench_fig08_loss_ci.cc.o"
+  "CMakeFiles/bench_fig08_loss_ci.dir/bench_fig08_loss_ci.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_loss_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_tod_loss"
+  "../bench/bench_fig10_tod_loss.pdb"
+  "CMakeFiles/bench_fig10_tod_loss.dir/bench_fig10_tod_loss.cc.o"
+  "CMakeFiles/bench_fig10_tod_loss.dir/bench_fig10_tod_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tod_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

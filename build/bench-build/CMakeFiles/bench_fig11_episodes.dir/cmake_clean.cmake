@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_episodes"
+  "../bench/bench_fig11_episodes.pdb"
+  "CMakeFiles/bench_fig11_episodes.dir/bench_fig11_episodes.cc.o"
+  "CMakeFiles/bench_fig11_episodes.dir/bench_fig11_episodes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

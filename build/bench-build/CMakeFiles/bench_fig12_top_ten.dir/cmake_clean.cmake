@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_top_ten"
+  "../bench/bench_fig12_top_ten.pdb"
+  "CMakeFiles/bench_fig12_top_ten.dir/bench_fig12_top_ten.cc.o"
+  "CMakeFiles/bench_fig12_top_ten.dir/bench_fig12_top_ten.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_top_ten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

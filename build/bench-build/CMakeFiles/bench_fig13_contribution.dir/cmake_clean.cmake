@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_contribution"
+  "../bench/bench_fig13_contribution.pdb"
+  "CMakeFiles/bench_fig13_contribution.dir/bench_fig13_contribution.cc.o"
+  "CMakeFiles/bench_fig13_contribution.dir/bench_fig13_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_as_scatter"
+  "../bench/bench_fig14_as_scatter.pdb"
+  "CMakeFiles/bench_fig14_as_scatter.dir/bench_fig14_as_scatter.cc.o"
+  "CMakeFiles/bench_fig14_as_scatter.dir/bench_fig14_as_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_as_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

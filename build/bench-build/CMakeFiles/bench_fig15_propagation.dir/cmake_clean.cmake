@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_propagation"
+  "../bench/bench_fig15_propagation.pdb"
+  "CMakeFiles/bench_fig15_propagation.dir/bench_fig15_propagation.cc.o"
+  "CMakeFiles/bench_fig15_propagation.dir/bench_fig15_propagation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_prop_scatter"
+  "../bench/bench_fig16_prop_scatter.pdb"
+  "CMakeFiles/bench_fig16_prop_scatter.dir/bench_fig16_prop_scatter.cc.o"
+  "CMakeFiles/bench_fig16_prop_scatter.dir/bench_fig16_prop_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_prop_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_rtt_ttest"
+  "../bench/bench_table2_rtt_ttest.pdb"
+  "CMakeFiles/bench_table2_rtt_ttest.dir/bench_table2_rtt_ttest.cc.o"
+  "CMakeFiles/bench_table2_rtt_ttest.dir/bench_table2_rtt_ttest.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rtt_ttest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

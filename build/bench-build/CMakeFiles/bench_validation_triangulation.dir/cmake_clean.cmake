@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_validation_triangulation"
+  "../bench/bench_validation_triangulation.pdb"
+  "CMakeFiles/bench_validation_triangulation.dir/bench_validation_triangulation.cc.o"
+  "CMakeFiles/bench_validation_triangulation.dir/bench_validation_triangulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_triangulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failure_study.dir/failure_study.cpp.o"
+  "CMakeFiles/example_failure_study.dir/failure_study.cpp.o.d"
+  "example_failure_study"
+  "example_failure_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failure_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_measurement_study.dir/measurement_study.cpp.o"
+  "CMakeFiles/example_measurement_study.dir/measurement_study.cpp.o.d"
+  "example_measurement_study"
+  "example_measurement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_measurement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_overlay_router.dir/overlay_router.cpp.o"
+  "CMakeFiles/example_overlay_router.dir/overlay_router.cpp.o.d"
+  "example_overlay_router"
+  "example_overlay_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_overlay_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_what_if_policies.dir/what_if_policies.cpp.o"
+  "CMakeFiles/example_what_if_policies.dir/what_if_policies.cpp.o.d"
+  "example_what_if_policies"
+  "example_what_if_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_what_if_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_what_if_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alternate.cc" "src/core/CMakeFiles/pathsel_core.dir/alternate.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/alternate.cc.o.d"
+  "/root/repo/src/core/as_analysis.cc" "src/core/CMakeFiles/pathsel_core.dir/as_analysis.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/as_analysis.cc.o.d"
+  "/root/repo/src/core/bandwidth.cc" "src/core/CMakeFiles/pathsel_core.dir/bandwidth.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/bandwidth.cc.o.d"
+  "/root/repo/src/core/confidence.cc" "src/core/CMakeFiles/pathsel_core.dir/confidence.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/confidence.cc.o.d"
+  "/root/repo/src/core/contribution.cc" "src/core/CMakeFiles/pathsel_core.dir/contribution.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/contribution.cc.o.d"
+  "/root/repo/src/core/episodes.cc" "src/core/CMakeFiles/pathsel_core.dir/episodes.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/episodes.cc.o.d"
+  "/root/repo/src/core/figures.cc" "src/core/CMakeFiles/pathsel_core.dir/figures.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/figures.cc.o.d"
+  "/root/repo/src/core/median.cc" "src/core/CMakeFiles/pathsel_core.dir/median.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/median.cc.o.d"
+  "/root/repo/src/core/overlay.cc" "src/core/CMakeFiles/pathsel_core.dir/overlay.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/overlay.cc.o.d"
+  "/root/repo/src/core/path_table.cc" "src/core/CMakeFiles/pathsel_core.dir/path_table.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/path_table.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/core/CMakeFiles/pathsel_core.dir/propagation.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/propagation.cc.o.d"
+  "/root/repo/src/core/timeofday.cc" "src/core/CMakeFiles/pathsel_core.dir/timeofday.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/timeofday.cc.o.d"
+  "/root/repo/src/core/triangulation.cc" "src/core/CMakeFiles/pathsel_core.dir/triangulation.cc.o" "gcc" "src/core/CMakeFiles/pathsel_core.dir/triangulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meas/CMakeFiles/pathsel_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pathsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pathsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pathsel_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pathsel_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_core.dir/alternate.cc.o"
+  "CMakeFiles/pathsel_core.dir/alternate.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/as_analysis.cc.o"
+  "CMakeFiles/pathsel_core.dir/as_analysis.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/bandwidth.cc.o"
+  "CMakeFiles/pathsel_core.dir/bandwidth.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/confidence.cc.o"
+  "CMakeFiles/pathsel_core.dir/confidence.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/contribution.cc.o"
+  "CMakeFiles/pathsel_core.dir/contribution.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/episodes.cc.o"
+  "CMakeFiles/pathsel_core.dir/episodes.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/figures.cc.o"
+  "CMakeFiles/pathsel_core.dir/figures.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/median.cc.o"
+  "CMakeFiles/pathsel_core.dir/median.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/overlay.cc.o"
+  "CMakeFiles/pathsel_core.dir/overlay.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/path_table.cc.o"
+  "CMakeFiles/pathsel_core.dir/path_table.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/propagation.cc.o"
+  "CMakeFiles/pathsel_core.dir/propagation.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/timeofday.cc.o"
+  "CMakeFiles/pathsel_core.dir/timeofday.cc.o.d"
+  "CMakeFiles/pathsel_core.dir/triangulation.cc.o"
+  "CMakeFiles/pathsel_core.dir/triangulation.cc.o.d"
+  "libpathsel_core.a"
+  "libpathsel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meas/availability.cc" "src/meas/CMakeFiles/pathsel_meas.dir/availability.cc.o" "gcc" "src/meas/CMakeFiles/pathsel_meas.dir/availability.cc.o.d"
+  "/root/repo/src/meas/catalog.cc" "src/meas/CMakeFiles/pathsel_meas.dir/catalog.cc.o" "gcc" "src/meas/CMakeFiles/pathsel_meas.dir/catalog.cc.o.d"
+  "/root/repo/src/meas/collector.cc" "src/meas/CMakeFiles/pathsel_meas.dir/collector.cc.o" "gcc" "src/meas/CMakeFiles/pathsel_meas.dir/collector.cc.o.d"
+  "/root/repo/src/meas/dataset.cc" "src/meas/CMakeFiles/pathsel_meas.dir/dataset.cc.o" "gcc" "src/meas/CMakeFiles/pathsel_meas.dir/dataset.cc.o.d"
+  "/root/repo/src/meas/serialize.cc" "src/meas/CMakeFiles/pathsel_meas.dir/serialize.cc.o" "gcc" "src/meas/CMakeFiles/pathsel_meas.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pathsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pathsel_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pathsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_meas.dir/availability.cc.o"
+  "CMakeFiles/pathsel_meas.dir/availability.cc.o.d"
+  "CMakeFiles/pathsel_meas.dir/catalog.cc.o"
+  "CMakeFiles/pathsel_meas.dir/catalog.cc.o.d"
+  "CMakeFiles/pathsel_meas.dir/collector.cc.o"
+  "CMakeFiles/pathsel_meas.dir/collector.cc.o.d"
+  "CMakeFiles/pathsel_meas.dir/dataset.cc.o"
+  "CMakeFiles/pathsel_meas.dir/dataset.cc.o.d"
+  "CMakeFiles/pathsel_meas.dir/serialize.cc.o"
+  "CMakeFiles/pathsel_meas.dir/serialize.cc.o.d"
+  "libpathsel_meas.a"
+  "libpathsel_meas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_meas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/bgp.cc" "src/route/CMakeFiles/pathsel_route.dir/bgp.cc.o" "gcc" "src/route/CMakeFiles/pathsel_route.dir/bgp.cc.o.d"
+  "/root/repo/src/route/igp.cc" "src/route/CMakeFiles/pathsel_route.dir/igp.cc.o" "gcc" "src/route/CMakeFiles/pathsel_route.dir/igp.cc.o.d"
+  "/root/repo/src/route/path.cc" "src/route/CMakeFiles/pathsel_route.dir/path.cc.o" "gcc" "src/route/CMakeFiles/pathsel_route.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/pathsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_route.dir/bgp.cc.o"
+  "CMakeFiles/pathsel_route.dir/bgp.cc.o.d"
+  "CMakeFiles/pathsel_route.dir/igp.cc.o"
+  "CMakeFiles/pathsel_route.dir/igp.cc.o.d"
+  "CMakeFiles/pathsel_route.dir/path.cc.o"
+  "CMakeFiles/pathsel_route.dir/path.cc.o.d"
+  "libpathsel_route.a"
+  "libpathsel_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

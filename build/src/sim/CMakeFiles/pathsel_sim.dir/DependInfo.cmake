@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/pathsel_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/pathsel_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/link_model.cc" "src/sim/CMakeFiles/pathsel_sim.dir/link_model.cc.o" "gcc" "src/sim/CMakeFiles/pathsel_sim.dir/link_model.cc.o.d"
+  "/root/repo/src/sim/load_model.cc" "src/sim/CMakeFiles/pathsel_sim.dir/load_model.cc.o" "gcc" "src/sim/CMakeFiles/pathsel_sim.dir/load_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/pathsel_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/pathsel_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/tcp_model.cc" "src/sim/CMakeFiles/pathsel_sim.dir/tcp_model.cc.o" "gcc" "src/sim/CMakeFiles/pathsel_sim.dir/tcp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/pathsel_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pathsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

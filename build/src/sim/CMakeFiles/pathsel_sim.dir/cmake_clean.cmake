@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pathsel_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pathsel_sim.dir/link_model.cc.o"
+  "CMakeFiles/pathsel_sim.dir/link_model.cc.o.d"
+  "CMakeFiles/pathsel_sim.dir/load_model.cc.o"
+  "CMakeFiles/pathsel_sim.dir/load_model.cc.o.d"
+  "CMakeFiles/pathsel_sim.dir/network.cc.o"
+  "CMakeFiles/pathsel_sim.dir/network.cc.o.d"
+  "CMakeFiles/pathsel_sim.dir/tcp_model.cc.o"
+  "CMakeFiles/pathsel_sim.dir/tcp_model.cc.o.d"
+  "libpathsel_sim.a"
+  "libpathsel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

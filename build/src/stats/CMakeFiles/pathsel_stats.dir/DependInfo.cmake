@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cdf.cc" "src/stats/CMakeFiles/pathsel_stats.dir/cdf.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/cdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/pathsel_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/ks.cc" "src/stats/CMakeFiles/pathsel_stats.dir/ks.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/ks.cc.o.d"
+  "/root/repo/src/stats/quantile.cc" "src/stats/CMakeFiles/pathsel_stats.dir/quantile.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/quantile.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/pathsel_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/tdist.cc" "src/stats/CMakeFiles/pathsel_stats.dir/tdist.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/tdist.cc.o.d"
+  "/root/repo/src/stats/ttest.cc" "src/stats/CMakeFiles/pathsel_stats.dir/ttest.cc.o" "gcc" "src/stats/CMakeFiles/pathsel_stats.dir/ttest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_stats.dir/cdf.cc.o"
+  "CMakeFiles/pathsel_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/histogram.cc.o"
+  "CMakeFiles/pathsel_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/ks.cc.o"
+  "CMakeFiles/pathsel_stats.dir/ks.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/quantile.cc.o"
+  "CMakeFiles/pathsel_stats.dir/quantile.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/summary.cc.o"
+  "CMakeFiles/pathsel_stats.dir/summary.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/tdist.cc.o"
+  "CMakeFiles/pathsel_stats.dir/tdist.cc.o.d"
+  "CMakeFiles/pathsel_stats.dir/ttest.cc.o"
+  "CMakeFiles/pathsel_stats.dir/ttest.cc.o.d"
+  "libpathsel_stats.a"
+  "libpathsel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_topo.dir/generator.cc.o"
+  "CMakeFiles/pathsel_topo.dir/generator.cc.o.d"
+  "CMakeFiles/pathsel_topo.dir/geo.cc.o"
+  "CMakeFiles/pathsel_topo.dir/geo.cc.o.d"
+  "CMakeFiles/pathsel_topo.dir/topology.cc.o"
+  "CMakeFiles/pathsel_topo.dir/topology.cc.o.d"
+  "libpathsel_topo.a"
+  "libpathsel_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpathsel_topo.a"
+)

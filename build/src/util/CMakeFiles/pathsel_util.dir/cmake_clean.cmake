@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_util.dir/rng.cc.o"
+  "CMakeFiles/pathsel_util.dir/rng.cc.o.d"
+  "CMakeFiles/pathsel_util.dir/sim_time.cc.o"
+  "CMakeFiles/pathsel_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/pathsel_util.dir/table.cc.o"
+  "CMakeFiles/pathsel_util.dir/table.cc.o.d"
+  "libpathsel_util.a"
+  "libpathsel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_analyzer_properties_test.dir/core/analyzer_properties_test.cc.o"
+  "CMakeFiles/test_core_analyzer_properties_test.dir/core/analyzer_properties_test.cc.o.d"
+  "test_core_analyzer_properties_test"
+  "test_core_analyzer_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_analyzer_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_as_analysis_test.dir/core/as_analysis_test.cc.o"
+  "CMakeFiles/test_core_as_analysis_test.dir/core/as_analysis_test.cc.o.d"
+  "test_core_as_analysis_test"
+  "test_core_as_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_as_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bandwidth_test.dir/core/bandwidth_test.cc.o"
+  "CMakeFiles/test_core_bandwidth_test.dir/core/bandwidth_test.cc.o.d"
+  "test_core_bandwidth_test"
+  "test_core_bandwidth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

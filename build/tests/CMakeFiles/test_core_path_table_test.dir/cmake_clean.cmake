@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_path_table_test.dir/core/path_table_test.cc.o"
+  "CMakeFiles/test_core_path_table_test.dir/core/path_table_test.cc.o.d"
+  "test_core_path_table_test"
+  "test_core_path_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_path_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

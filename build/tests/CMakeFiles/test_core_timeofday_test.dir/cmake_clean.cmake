@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_timeofday_test.dir/core/timeofday_test.cc.o"
+  "CMakeFiles/test_core_timeofday_test.dir/core/timeofday_test.cc.o.d"
+  "test_core_timeofday_test"
+  "test_core_timeofday_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_timeofday_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

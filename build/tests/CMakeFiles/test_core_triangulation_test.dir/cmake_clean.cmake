@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_triangulation_test.dir/core/triangulation_test.cc.o"
+  "CMakeFiles/test_core_triangulation_test.dir/core/triangulation_test.cc.o.d"
+  "test_core_triangulation_test"
+  "test_core_triangulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_triangulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

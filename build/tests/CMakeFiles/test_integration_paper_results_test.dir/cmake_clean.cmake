@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_paper_results_test.dir/integration/paper_results_test.cc.o"
+  "CMakeFiles/test_integration_paper_results_test.dir/integration/paper_results_test.cc.o.d"
+  "test_integration_paper_results_test"
+  "test_integration_paper_results_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_paper_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meas_availability_test.dir/meas/availability_test.cc.o"
+  "CMakeFiles/test_meas_availability_test.dir/meas/availability_test.cc.o.d"
+  "test_meas_availability_test"
+  "test_meas_availability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meas_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_bgp_test.dir/route/bgp_test.cc.o"
+  "CMakeFiles/test_route_bgp_test.dir/route/bgp_test.cc.o.d"
+  "test_route_bgp_test"
+  "test_route_bgp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

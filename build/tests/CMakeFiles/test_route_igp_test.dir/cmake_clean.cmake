@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_igp_test.dir/route/igp_test.cc.o"
+  "CMakeFiles/test_route_igp_test.dir/route/igp_test.cc.o.d"
+  "test_route_igp_test"
+  "test_route_igp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_igp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

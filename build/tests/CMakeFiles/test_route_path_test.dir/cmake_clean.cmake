@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_path_test.dir/route/path_test.cc.o"
+  "CMakeFiles/test_route_path_test.dir/route/path_test.cc.o.d"
+  "test_route_path_test"
+  "test_route_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

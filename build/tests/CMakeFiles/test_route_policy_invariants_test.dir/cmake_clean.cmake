@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_policy_invariants_test.dir/route/policy_invariants_test.cc.o"
+  "CMakeFiles/test_route_policy_invariants_test.dir/route/policy_invariants_test.cc.o.d"
+  "test_route_policy_invariants_test"
+  "test_route_policy_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_policy_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

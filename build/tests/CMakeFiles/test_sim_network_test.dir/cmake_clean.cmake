@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_network_test.dir/sim/network_test.cc.o"
+  "CMakeFiles/test_sim_network_test.dir/sim/network_test.cc.o.d"
+  "test_sim_network_test"
+  "test_sim_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

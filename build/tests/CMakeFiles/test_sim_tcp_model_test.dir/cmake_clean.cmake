@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tcp_model_test.dir/sim/tcp_model_test.cc.o"
+  "CMakeFiles/test_sim_tcp_model_test.dir/sim/tcp_model_test.cc.o.d"
+  "test_sim_tcp_model_test"
+  "test_sim_tcp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tcp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_cdf_test.dir/stats/cdf_test.cc.o"
+  "CMakeFiles/test_stats_cdf_test.dir/stats/cdf_test.cc.o.d"
+  "test_stats_cdf_test"
+  "test_stats_cdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_quantile_test.dir/stats/quantile_test.cc.o"
+  "CMakeFiles/test_stats_quantile_test.dir/stats/quantile_test.cc.o.d"
+  "test_stats_quantile_test"
+  "test_stats_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

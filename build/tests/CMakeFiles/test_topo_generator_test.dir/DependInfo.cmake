@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/generator_test.cc" "tests/CMakeFiles/test_topo_generator_test.dir/topo/generator_test.cc.o" "gcc" "tests/CMakeFiles/test_topo_generator_test.dir/topo/generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pathsel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/meas/CMakeFiles/pathsel_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pathsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pathsel_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pathsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pathsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pathsel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

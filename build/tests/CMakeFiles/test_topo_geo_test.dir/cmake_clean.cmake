@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_geo_test.dir/topo/geo_test.cc.o"
+  "CMakeFiles/test_topo_geo_test.dir/topo/geo_test.cc.o.d"
+  "test_topo_geo_test"
+  "test_topo_geo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

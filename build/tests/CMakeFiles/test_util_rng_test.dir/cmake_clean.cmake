@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_rng_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/test_util_rng_test.dir/util/rng_test.cc.o.d"
+  "test_util_rng_test"
+  "test_util_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

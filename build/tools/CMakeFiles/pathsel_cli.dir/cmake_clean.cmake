@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsel_cli.dir/pathsel_cli.cc.o"
+  "CMakeFiles/pathsel_cli.dir/pathsel_cli.cc.o.d"
+  "pathsel_cli"
+  "pathsel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
