@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/expect.h"
+#include "util/thread_pool.h"
 
 namespace pathsel::core {
 
@@ -162,61 +163,84 @@ void bellman_bounded(const Adjacency& adj, const PathEdge& direct,
 
 }  // namespace
 
+namespace {
+
+// The per-edge body of the sweep, independent of every other edge.  Returns
+// false when removing the direct edge disconnects the pair.
+bool analyze_one_pair(const PathTable& table, const Adjacency& adj,
+                      const PathEdge& direct, const AnalyzerOptions& options,
+                      SearchScratch& scratch, PairResult& out) {
+  const std::size_t src = table.host_index(direct.a);
+  const std::size_t dst = table.host_index(direct.b);
+
+  std::fill(scratch.parent.begin(), scratch.parent.end(),
+            std::make_pair(std::size_t{0}, static_cast<const PathEdge*>(nullptr)));
+  if (options.max_intermediate_hosts > 0) {
+    bellman_bounded(adj, direct, src, options.max_intermediate_hosts + 1,
+                    options.metric, scratch);
+  } else {
+    dijkstra_avoiding(adj, direct, src, dst, options.metric, scratch);
+  }
+  if (scratch.dist[dst] == kInf) return false;  // no alternate path exists
+  const auto& parent = scratch.parent;
+
+  // Reconstruct the edge sequence dst -> src.
+  std::vector<const PathEdge*> path_edges;
+  std::vector<topo::HostId> via;
+  std::size_t cursor = dst;
+  while (cursor != src) {
+    const auto& [prev, edge] = parent[cursor];
+    path_edges.push_back(edge);
+    if (prev != src) via.push_back(table.hosts()[prev]);
+    cursor = prev;
+  }
+  std::reverse(path_edges.begin(), path_edges.end());
+  std::reverse(via.begin(), via.end());
+
+  out.a = direct.a;
+  out.b = direct.b;
+  out.default_value = edge_metric_value(direct, options.metric);
+  out.alternate_value = compose_metric(path_edges, options.metric);
+  out.via = std::move(via);
+  if (options.metric != Metric::kPropagation) {
+    out.default_estimate = options.metric == Metric::kRtt
+                               ? stats::MeanEstimate::from_summary(direct.rtt)
+                               : stats::MeanEstimate::from_summary(direct.loss);
+    out.alternate_estimate = compose_estimate(path_edges, options.metric);
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
                                                 const AnalyzerOptions& options) {
   const Adjacency adj = build_adjacency(table);
   const std::size_t n = table.hosts().size();
+  const std::size_t edge_count = table.edges().size();
 
-  std::vector<PairResult> results;
-  results.reserve(table.edges().size());
-
-  SearchScratch scratch;
-  scratch.dist.resize(n);
-  scratch.parent.resize(n);
-
-  for (const PathEdge& direct : table.edges()) {
-    const std::size_t src = table.host_index(direct.a);
-    const std::size_t dst = table.host_index(direct.b);
-
-    std::fill(scratch.parent.begin(), scratch.parent.end(),
-              std::make_pair(std::size_t{0}, static_cast<const PathEdge*>(nullptr)));
-    if (options.max_intermediate_hosts > 0) {
-      bellman_bounded(adj, direct, src, options.max_intermediate_hosts + 1,
-                      options.metric, scratch);
-    } else {
-      dijkstra_avoiding(adj, direct, src, dst, options.metric, scratch);
-    }
-    if (scratch.dist[dst] == kInf) continue;  // no alternate path exists
-    const auto& parent = scratch.parent;
-
-    // Reconstruct the edge sequence dst -> src.
-    std::vector<const PathEdge*> path_edges;
-    std::vector<topo::HostId> via;
-    std::size_t cursor = dst;
-    while (cursor != src) {
-      const auto& [prev, edge] = parent[cursor];
-      path_edges.push_back(edge);
-      if (prev != src) via.push_back(table.hosts()[prev]);
-      cursor = prev;
-    }
-    std::reverse(path_edges.begin(), path_edges.end());
-    std::reverse(via.begin(), via.end());
-
-    PairResult r;
-    r.a = direct.a;
-    r.b = direct.b;
-    r.default_value = edge_metric_value(direct, options.metric);
-    r.alternate_value = compose_metric(path_edges, options.metric);
-    r.via = std::move(via);
-    if (options.metric != Metric::kPropagation) {
-      r.default_estimate = options.metric == Metric::kRtt
-                               ? stats::MeanEstimate::from_summary(direct.rtt)
-                               : stats::MeanEstimate::from_summary(direct.loss);
-      r.alternate_estimate = compose_estimate(path_edges, options.metric);
-    }
-    results.push_back(std::move(r));
-  }
-  return results;
+  // Chunk size is fixed so chunk boundaries — and therefore the merged
+  // output — do not depend on the thread count.
+  constexpr std::size_t kChunk = 16;
+  ThreadPool pool{edge_count <= kChunk ? 1u
+                                       : resolve_thread_count(options.threads)};
+  return pool.map_chunks<PairResult>(
+      edge_count, kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        SearchScratch scratch;
+        scratch.dist.resize(n);
+        scratch.parent.resize(n);
+        std::vector<PairResult> local;
+        local.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          PairResult r;
+          if (analyze_one_pair(table, adj, table.edges()[i], options, scratch,
+                               r)) {
+            local.push_back(std::move(r));
+          }
+        }
+        return local;
+      });
 }
 
 }  // namespace pathsel::core

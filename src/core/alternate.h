@@ -51,6 +51,10 @@ struct AnalyzerOptions {
   /// unlimited (full shortest-path computation).  The paper restricts some
   /// analyses (medians, bandwidth) to one hop for tractability.
   int max_intermediate_hosts = 0;
+  /// Worker threads for the per-pair sweep; <= 0 means
+  /// util::default_thread_count(), 1 forces the serial path.  Results are
+  /// bit-identical for every thread count.
+  int threads = 0;
 };
 
 /// Computes the best alternate for every measured pair.  Pairs whose removal

@@ -1,45 +1,75 @@
 #include "core/confidence.h"
 
 #include <algorithm>
+#include <array>
+
+#include "util/thread_pool.h"
 
 namespace pathsel::core {
 
+namespace {
+
+// Fixed chunking; per-chunk outputs merge in index order, so both sweeps are
+// bit-identical for every thread count (the tallies are integer sums).
+constexpr std::size_t kChunk = 256;
+
+}  // namespace
+
 SignificanceTally classify_significance(std::span<const PairResult> results,
-                                        double confidence) {
+                                        double confidence, int threads) {
   SignificanceTally tally;
   tally.pairs = results.size();
   if (results.empty()) return tally;
-  std::size_t better = 0;
-  std::size_t worse = 0;
-  std::size_t indeterminate = 0;
-  std::size_t zero = 0;
-  for (const auto& r : results) {
-    const auto t = stats::welch_ttest(r.default_estimate, r.alternate_estimate,
-                                      confidence);
-    switch (t.verdict) {
-      case stats::Significance::kBetter: ++better; break;
-      case stats::Significance::kWorse: ++worse; break;
-      case stats::Significance::kIndeterminate: ++indeterminate; break;
-      case stats::Significance::kZero: ++zero; break;
-    }
+
+  // Per-chunk counts of {better, worse, indeterminate, zero}.
+  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  std::vector<std::array<std::size_t, 4>> counts(
+      ThreadPool::chunk_count(results.size(), kChunk));
+  pool.parallel_for(
+      results.size(), kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        std::array<std::size_t, 4> local{};
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto t = stats::welch_ttest(
+              results[i].default_estimate, results[i].alternate_estimate,
+              confidence);
+          switch (t.verdict) {
+            case stats::Significance::kBetter: ++local[0]; break;
+            case stats::Significance::kWorse: ++local[1]; break;
+            case stats::Significance::kIndeterminate: ++local[2]; break;
+            case stats::Significance::kZero: ++local[3]; break;
+          }
+        }
+        counts[chunk] = local;
+      });
+  std::array<std::size_t, 4> total{};
+  for (const auto& c : counts) {
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += c[i];
   }
   const auto n = static_cast<double>(results.size());
-  tally.better = static_cast<double>(better) / n;
-  tally.worse = static_cast<double>(worse) / n;
-  tally.indeterminate = static_cast<double>(indeterminate) / n;
-  tally.zero = static_cast<double>(zero) / n;
+  tally.better = static_cast<double>(total[0]) / n;
+  tally.worse = static_cast<double>(total[1]) / n;
+  tally.indeterminate = static_cast<double>(total[2]) / n;
+  tally.zero = static_cast<double>(total[3]) / n;
   return tally;
 }
 
 std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
-                                    double confidence) {
-  std::vector<CiPoint> points;
-  points.reserve(results.size());
-  for (const auto& r : results) {
-    const auto t = stats::welch_ttest(r.default_estimate, r.alternate_estimate,
-                                      confidence);
-    points.push_back(CiPoint{t.difference, 0.0, t.half_width});
-  }
+                                    double confidence, int threads) {
+  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  std::vector<CiPoint> points = pool.map_chunks<CiPoint>(
+      results.size(), kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<CiPoint> local;
+        local.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto t = stats::welch_ttest(
+              results[i].default_estimate, results[i].alternate_estimate,
+              confidence);
+          local.push_back(CiPoint{t.difference, 0.0, t.half_width});
+        }
+        return local;
+      });
   std::sort(points.begin(), points.end(),
             [](const CiPoint& x, const CiPoint& y) {
               return x.difference < y.difference;

@@ -25,8 +25,11 @@ struct SignificanceTally {
   double zero = 0.0;           // loss-rate only
 };
 
+/// `threads` <= 0 means util::default_thread_count(); 1 forces the serial
+/// path.  Both sweeps are bit-identical for every thread count.
 [[nodiscard]] SignificanceTally classify_significance(
-    std::span<const PairResult> results, double confidence = 0.95);
+    std::span<const PairResult> results, double confidence = 0.95,
+    int threads = 0);
 
 /// One point of the Figure 7/8 plot: the pair's mean difference, its
 /// cumulative fraction, and the CI half-width to draw as an error bar.
@@ -38,6 +41,7 @@ struct CiPoint {
 
 /// Points sorted by difference (the CDF), each with its own half-width.
 [[nodiscard]] std::vector<CiPoint> confidence_cdf(
-    std::span<const PairResult> results, double confidence = 0.95);
+    std::span<const PairResult> results, double confidence = 0.95,
+    int threads = 0);
 
 }  // namespace pathsel::core

@@ -1,45 +1,84 @@
 #include "core/figures.h"
 
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.h"
+
 namespace pathsel::core {
 
-stats::EmpiricalCdf improvement_cdf(std::span<const PairResult> results) {
-  stats::EmpiricalCdf cdf;
-  for (const auto& r : results) cdf.add(r.improvement());
-  return cdf;
+namespace {
+
+// Fixed chunking keeps the merged value vector identical for every thread
+// count; EmpiricalCdf then sees the same input a serial loop would build.
+constexpr std::size_t kChunk = 1024;
+
+template <typename Result, typename ValueFn>
+stats::EmpiricalCdf sweep_cdf(std::span<const Result> results, int threads,
+                              ValueFn&& value) {
+  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  return stats::EmpiricalCdf{pool.map_chunks<double>(
+      results.size(), kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> local;
+        local.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) local.push_back(value(results[i]));
+        return local;
+      })};
 }
 
-stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results) {
-  stats::EmpiricalCdf cdf;
-  for (const auto& r : results) cdf.add(r.ratio());
-  return cdf;
+template <typename Result>
+double sweep_fraction_improved(std::span<const Result> results, int threads) {
+  if (results.empty()) return 0.0;
+  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  std::vector<std::size_t> counts(
+      ThreadPool::chunk_count(results.size(), kChunk), 0);
+  pool.parallel_for(results.size(), kChunk,
+                    [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                      std::size_t improved = 0;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        improved += results[i].improvement() > 0.0 ? 1u : 0u;
+                      }
+                      counts[chunk] = improved;
+                    });
+  std::size_t improved = 0;
+  for (const std::size_t c : counts) improved += c;
+  return static_cast<double>(improved) / static_cast<double>(results.size());
+}
+
+}  // namespace
+
+stats::EmpiricalCdf improvement_cdf(std::span<const PairResult> results,
+                                    int threads) {
+  return sweep_cdf(results, threads,
+                   [](const PairResult& r) { return r.improvement(); });
+}
+
+stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results,
+                              int threads) {
+  return sweep_cdf(results, threads,
+                   [](const PairResult& r) { return r.ratio(); });
 }
 
 stats::EmpiricalCdf bandwidth_improvement_cdf(
-    std::span<const BandwidthPairResult> results) {
-  stats::EmpiricalCdf cdf;
-  for (const auto& r : results) cdf.add(r.improvement());
-  return cdf;
+    std::span<const BandwidthPairResult> results, int threads) {
+  return sweep_cdf(results, threads,
+                   [](const BandwidthPairResult& r) { return r.improvement(); });
 }
 
 stats::EmpiricalCdf bandwidth_ratio_cdf(
-    std::span<const BandwidthPairResult> results) {
-  stats::EmpiricalCdf cdf;
-  for (const auto& r : results) cdf.add(r.ratio());
-  return cdf;
+    std::span<const BandwidthPairResult> results, int threads) {
+  return sweep_cdf(results, threads,
+                   [](const BandwidthPairResult& r) { return r.ratio(); });
 }
 
-double fraction_improved(std::span<const PairResult> results) {
-  if (results.empty()) return 0.0;
-  std::size_t improved = 0;
-  for (const auto& r : results) improved += r.improvement() > 0.0 ? 1u : 0u;
-  return static_cast<double>(improved) / static_cast<double>(results.size());
+double fraction_improved(std::span<const PairResult> results, int threads) {
+  return sweep_fraction_improved(results, threads);
 }
 
-double fraction_improved(std::span<const BandwidthPairResult> results) {
-  if (results.empty()) return 0.0;
-  std::size_t improved = 0;
-  for (const auto& r : results) improved += r.improvement() > 0.0 ? 1u : 0u;
-  return static_cast<double>(improved) / static_cast<double>(results.size());
+double fraction_improved(std::span<const BandwidthPairResult> results,
+                         int threads) {
+  return sweep_fraction_improved(results, threads);
 }
 
 }  // namespace pathsel::core

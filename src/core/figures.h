@@ -5,6 +5,10 @@
 // alternate for RTT/loss; alternate − default for bandwidth, so positive is
 // always "alternate superior") and relative improvement (>1 means the
 // alternate is superior).
+//
+// Each sweep takes a `threads` knob (<= 0 means util::default_thread_count(),
+// 1 forces the serial path); per-pair values are computed in fixed chunks and
+// merged in index order, so every thread count produces bit-identical CDFs.
 #pragma once
 
 #include <span>
@@ -16,19 +20,21 @@
 namespace pathsel::core {
 
 [[nodiscard]] stats::EmpiricalCdf improvement_cdf(
-    std::span<const PairResult> results);
+    std::span<const PairResult> results, int threads = 0);
 
-[[nodiscard]] stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results);
+[[nodiscard]] stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results,
+                                            int threads = 0);
 
 [[nodiscard]] stats::EmpiricalCdf bandwidth_improvement_cdf(
-    std::span<const BandwidthPairResult> results);
+    std::span<const BandwidthPairResult> results, int threads = 0);
 
 [[nodiscard]] stats::EmpiricalCdf bandwidth_ratio_cdf(
-    std::span<const BandwidthPairResult> results);
+    std::span<const BandwidthPairResult> results, int threads = 0);
 
 /// Fraction of pairs for which the best alternate is strictly better.
-[[nodiscard]] double fraction_improved(std::span<const PairResult> results);
+[[nodiscard]] double fraction_improved(std::span<const PairResult> results,
+                                       int threads = 0);
 [[nodiscard]] double fraction_improved(
-    std::span<const BandwidthPairResult> results);
+    std::span<const BandwidthPairResult> results, int threads = 0);
 
 }  // namespace pathsel::core

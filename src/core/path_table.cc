@@ -4,6 +4,7 @@
 
 #include "stats/quantile.h"
 #include "util/expect.h"
+#include "util/thread_pool.h"
 
 namespace pathsel::core {
 
@@ -23,23 +24,21 @@ double PathEdge::propagation_ms() const {
   return stats::quantile(rtt_samples, 0.10);
 }
 
-PathTable PathTable::build(const meas::Dataset& dataset,
-                           const BuildOptions& options) {
-  PathTable table;
-  table.hosts_ = dataset.hosts;
+namespace {
 
-  std::unordered_map<std::uint64_t, PathEdge> acc;
-  for (const auto& m : dataset.measurements) {
-    if (!m.completed) continue;
-    if (options.filter && !options.filter(m)) continue;
-
-    const std::uint64_t key = edge_key(m.src, m.dst);
-    auto [it, inserted] = acc.try_emplace(key);
-    PathEdge& e = it->second;
-    if (inserted) {
-      e.a = std::min(m.src, m.dst);
-      e.b = std::max(m.src, m.dst);
-    }
+// Replays one pair's measurements, in measurement order, into a PathEdge.
+// All adds for an edge hit only that edge's summaries, so the floating-point
+// stream is the same one the measurement-order loop over the whole dataset
+// would produce.
+PathEdge accumulate_edge(const meas::Dataset& dataset,
+                         std::span<const std::size_t> measurement_indices,
+                         const BuildOptions& options) {
+  PathEdge e;
+  const auto& first = dataset.measurements[measurement_indices.front()];
+  e.a = std::min(first.src, first.dst);
+  e.b = std::max(first.src, first.dst);
+  for (const std::size_t mi : measurement_indices) {
+    const auto& m = dataset.measurements[mi];
     e.invocations += 1;
 
     if (dataset.kind == meas::MeasurementKind::kTraceroute) {
@@ -64,22 +63,57 @@ PathTable PathTable::build(const meas::Dataset& dataset,
       e.tcp_loss.add(m.tcp_loss_rate);
     }
   }
+  return e;
+}
 
-  for (auto& [key, edge] : acc) {
-    if (edge.invocations < options.min_samples) continue;
-    // A traceroute path where every sample was lost has no RTT estimate and
-    // cannot back an alternate hop.
-    if (dataset.kind == meas::MeasurementKind::kTraceroute &&
-        edge.rtt.count() < 2) {
-      continue;
-    }
-    table.edges_.push_back(std::move(edge));
+}  // namespace
+
+PathTable PathTable::build(const meas::Dataset& dataset,
+                           const BuildOptions& options) {
+  PathTable table;
+  table.hosts_ = dataset.hosts;
+
+  // Pass 1 (serial, no floating point): group measurement indices per
+  // undirected pair, preserving measurement order within each group.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < dataset.measurements.size(); ++i) {
+    const auto& m = dataset.measurements[i];
+    if (!m.completed) continue;
+    if (options.filter && !options.filter(m)) continue;
+    groups[edge_key(m.src, m.dst)].push_back(i);
   }
-  std::sort(table.edges_.begin(), table.edges_.end(),
-            [](const PathEdge& x, const PathEdge& y) {
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  // edge_key sorts as (min host, max host), so ascending keys are exactly
+  // the (a, b)-sorted edge order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(groups.size());
+  for (const auto& [key, indices] : groups) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  // Pass 2 (parallel): replay each pair's measurements into its edge.  The
+  // chunk size is fixed so the merged edge list is identical for every
+  // thread count.
+  constexpr std::size_t kChunk = 64;
+  ThreadPool pool{keys.size() <= kChunk ? 1u
+                                        : resolve_thread_count(options.threads)};
+  table.edges_ = pool.map_chunks<PathEdge>(
+      keys.size(), kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<PathEdge> local;
+        local.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) {
+          PathEdge edge =
+              accumulate_edge(dataset, groups.find(keys[k])->second, options);
+          if (edge.invocations < options.min_samples) continue;
+          // A traceroute path where every sample was lost has no RTT estimate
+          // and cannot back an alternate hop.
+          if (dataset.kind == meas::MeasurementKind::kTraceroute &&
+              edge.rtt.count() < 2) {
+            continue;
+          }
+          local.push_back(std::move(edge));
+        }
+        return local;
+      });
   table.reindex();
   return table;
 }

@@ -55,6 +55,11 @@ struct BuildOptions {
   bool keep_samples = false;
   /// Optional measurement filter (time-of-day windows, single episodes...).
   std::function<bool(const meas::Measurement&)> filter;
+  /// Worker threads for the per-edge accumulation; <= 0 means
+  /// util::default_thread_count(), 1 forces the serial path.  Each edge's
+  /// samples are replayed in measurement order regardless, so the table is
+  /// bit-identical for every thread count.
+  int threads = 0;
 };
 
 class PathTable {

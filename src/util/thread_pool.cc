@@ -1,0 +1,124 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/expect.h"
+
+namespace pathsel {
+
+unsigned hardware_thread_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned default_thread_count() noexcept {
+  if (const char* env = std::getenv("PATHSEL_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return hardware_thread_count();
+}
+
+unsigned resolve_thread_count(int requested) noexcept {
+  return requested <= 0 ? default_thread_count()
+                        : static_cast<unsigned>(requested);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping, queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  PATHSEL_EXPECT(chunk_size > 0, "parallel_for requires chunk_size > 0");
+  const std::size_t chunks = chunk_count(n, chunk_size);
+
+  auto run_chunk = [&](std::size_t c) {
+    fn(c * chunk_size, std::min(n, (c + 1) * chunk_size), c);
+  };
+
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Executors claim chunk indices from a shared counter; which thread runs a
+  // chunk affects nothing but timing because outputs are indexed by chunk.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(chunks);
+  auto drain = [&] {
+    for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+         c < chunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        run_chunk(c);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }
+  };
+
+  // The helpers reference this frame, so the caller waits until every
+  // enqueued helper has finished (even ones that find no chunks left).
+  const std::size_t helper_count = std::min(workers_.size(), chunks - 1);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t helpers_remaining = helper_count;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (std::size_t i = 0; i < helper_count; ++i) {
+      tasks_.emplace_back([&] {
+        drain();
+        {
+          const std::lock_guard<std::mutex> done_lock{done_mutex};
+          --helpers_remaining;
+        }
+        done_cv.notify_one();
+      });
+    }
+  }
+  ready_.notify_all();
+
+  drain();  // the calling thread is an executor too
+  {
+    std::unique_lock<std::mutex> done_lock{done_mutex};
+    done_cv.wait(done_lock, [&] { return helpers_remaining == 0; });
+  }
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (errors[c]) std::rethrow_exception(errors[c]);
+  }
+}
+
+}  // namespace pathsel

@@ -1,0 +1,172 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pathsel {
+namespace {
+
+TEST(ThreadPool, ThreadCountResolution) {
+  EXPECT_GE(hardware_thread_count(), 1u);
+  EXPECT_GE(default_thread_count(), 1u);
+  EXPECT_EQ(resolve_thread_count(4), 4u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(0), default_thread_count());
+  EXPECT_EQ(resolve_thread_count(-3), default_thread_count());
+}
+
+TEST(ThreadPool, EnvOverridesDefaultThreadCount) {
+  ASSERT_EQ(setenv("PATHSEL_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  EXPECT_EQ(resolve_thread_count(0), 3u);
+  ASSERT_EQ(setenv("PATHSEL_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(default_thread_count(), hardware_thread_count());
+  ASSERT_EQ(unsetenv("PATHSEL_THREADS"), 0);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansDefault) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.thread_count(), default_thread_count());
+}
+
+TEST(ThreadPool, SingleThreadSpawnsNoWorkers) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ChunkCount) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 4), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(1, 4), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(4, 4), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(5, 4), 2u);
+  EXPECT_EQ(ThreadPool::chunk_count(8, 4), 2u);
+}
+
+// Every index is visited exactly once, with the right chunk boundaries, at
+// 1 and at N threads.
+void check_coverage(unsigned threads, std::size_t n, std::size_t chunk_size) {
+  ThreadPool pool{threads};
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v = 0;
+  pool.parallel_for(n, chunk_size,
+                    [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                      EXPECT_EQ(begin, chunk * chunk_size);
+                      EXPECT_LE(end, n);
+                      EXPECT_LE(end - begin, chunk_size);
+                      for (std::size_t i = begin; i < end; ++i) visits[i] += 1;
+                    });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, CoversEveryIndexOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    check_coverage(threads, 100, 7);
+    check_coverage(threads, 100, 100);
+    check_coverage(threads, 100, 1000);  // one short chunk
+    check_coverage(threads, 1, 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool{4};
+  bool called = false;
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, MapChunksMergesInChunkIndexOrder) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool{threads};
+    const auto out = pool.map_chunks<std::size_t>(
+        1000, 13, [](std::size_t begin, std::size_t end, std::size_t) {
+          std::vector<std::size_t> local(end - begin);
+          std::iota(local.begin(), local.end(), begin);
+          return local;
+        });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+  }
+}
+
+TEST(ThreadPool, MapChunksWithFilteringKeepsSerialOrder) {
+  // Chunks of unequal output size still concatenate in index order.
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool{threads};
+    const auto out = pool.map_chunks<std::size_t>(
+        200, 9, [](std::size_t begin, std::size_t end, std::size_t) {
+          std::vector<std::size_t> local;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (i % 3 == 0) local.push_back(i);
+          }
+          return local;
+        });
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < 200; i += 3) expected.push_back(i);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool{threads};
+    EXPECT_THROW(
+        pool.parallel_for(100, 10,
+                          [](std::size_t begin, std::size_t, std::size_t) {
+                            if (begin == 50) throw std::runtime_error{"boom"};
+                          }),
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+  ThreadPool pool{4};
+  try {
+    pool.parallel_for(100, 10,
+                      [](std::size_t, std::size_t, std::size_t chunk) {
+                        if (chunk == 3 || chunk == 7) {
+                          throw std::runtime_error{"chunk " +
+                                                   std::to_string(chunk)};
+                        }
+                      });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 3");
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(10, 1,
+                                 [](std::size_t, std::size_t, std::size_t) {
+                                   throw std::runtime_error{"boom"};
+                                 }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, 1, [&](std::size_t begin, std::size_t, std::size_t) {
+    sum += static_cast<int>(begin);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ReusableAcrossManySweeps) {
+  ThreadPool pool{3};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, 4, [&](std::size_t begin, std::size_t end,
+                                 std::size_t) {
+      count += static_cast<int>(end - begin);
+    });
+    ASSERT_EQ(count, 64);
+  }
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -5,8 +5,10 @@
 //   pathsel_cli info --in FILE
 //       Print a dataset's characteristics (its Table 1 row).
 //   pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth
-//                       [--min-samples N] [--one-hop] [--csv]
-//       Run the alternate-path analysis on a saved dataset.
+//                       [--min-samples N] [--one-hop] [--csv] [--threads N]
+//       Run the alternate-path analysis on a saved dataset.  --threads
+//       defaults to the hardware thread count (or $PATHSEL_THREADS); the
+//       results are bit-identical for every value.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,7 +36,9 @@ int usage() {
                "  pathsel_cli info --in FILE\n"
                "  pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth\n"
                "                      [--min-samples N] [--one-hop] [--csv]\n"
-               "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n");
+               "                      [--threads N]\n"
+               "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
+               "--threads defaults to the hardware thread count\n");
   return 2;
 }
 
@@ -122,8 +126,16 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   const auto metric_it = flags.find("metric");
   const std::string metric = metric_it == flags.end() ? "rtt" : metric_it->second;
 
+  // 0 resolves to default_thread_count() (PATHSEL_THREADS env override, else
+  // hardware_concurrency); --threads 1 forces the serial path.
+  int threads = 0;
+  if (const auto it = flags.find("threads"); it != flags.end()) {
+    threads = std::atoi(it->second.c_str());
+  }
+
   core::BuildOptions build;
   build.min_samples = 30;
+  build.threads = threads;
   if (const auto it = flags.find("min-samples"); it != flags.end()) {
     build.min_samples = std::atoi(it->second.c_str());
   }
@@ -156,10 +168,11 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     return usage();
   }
   if (flags.contains("one-hop")) analyze.max_intermediate_hosts = 1;
+  analyze.threads = threads;
 
   const auto results = core::analyze_alternate_paths(table, analyze);
-  const auto cdf = core::improvement_cdf(results);
-  const auto tally = core::classify_significance(results);
+  const auto cdf = core::improvement_cdf(results, threads);
+  const auto tally = core::classify_significance(results, 0.95, threads);
   std::printf("pairs analyzed: %zu\n", results.size());
   std::printf("better alternate exists: %.0f%%\n",
               100.0 * cdf.fraction_above(0.0));
