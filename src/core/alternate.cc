@@ -222,8 +222,7 @@ std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
   // Chunk size is fixed so chunk boundaries — and therefore the merged
   // output — do not depend on the thread count.
   constexpr std::size_t kChunk = 16;
-  ThreadPool pool{edge_count <= kChunk ? 1u
-                                       : resolve_thread_count(options.threads)};
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(options.threads));
   return pool.map_chunks<PairResult>(
       edge_count, kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {

@@ -22,7 +22,7 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
   if (results.empty()) return tally;
 
   // Per-chunk counts of {better, worse, indeterminate, zero}.
-  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   std::vector<std::array<std::size_t, 4>> counts(
       ThreadPool::chunk_count(results.size(), kChunk));
   pool.parallel_for(
@@ -56,7 +56,7 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
 
 std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
                                     double confidence, int threads) {
-  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   std::vector<CiPoint> points = pool.map_chunks<CiPoint>(
       results.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {

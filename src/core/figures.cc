@@ -16,7 +16,7 @@ constexpr std::size_t kChunk = 1024;
 template <typename Result, typename ValueFn>
 stats::EmpiricalCdf sweep_cdf(std::span<const Result> results, int threads,
                               ValueFn&& value) {
-  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   return stats::EmpiricalCdf{pool.map_chunks<double>(
       results.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -30,7 +30,7 @@ stats::EmpiricalCdf sweep_cdf(std::span<const Result> results, int threads,
 template <typename Result>
 double sweep_fraction_improved(std::span<const Result> results, int threads) {
   if (results.empty()) return 0.0;
-  ThreadPool pool{results.size() <= kChunk ? 1u : resolve_thread_count(threads)};
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   std::vector<std::size_t> counts(
       ThreadPool::chunk_count(results.size(), kChunk), 0);
   pool.parallel_for(results.size(), kChunk,

@@ -93,8 +93,8 @@ PathTable PathTable::build(const meas::Dataset& dataset,
   // chunk size is fixed so the merged edge list is identical for every
   // thread count.
   constexpr std::size_t kChunk = 64;
-  ThreadPool pool{keys.size() <= kChunk ? 1u
-                                        : resolve_thread_count(options.threads)};
+  ThreadPool& pool =
+      ThreadPool::shared(resolve_thread_count(options.threads));
   table.edges_ = pool.map_chunks<PathEdge>(
       keys.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 
 #include "util/expect.h"
 
@@ -33,6 +34,17 @@ ThreadPool::ThreadPool(unsigned threads) {
   for (unsigned i = 1; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+}
+
+ThreadPool& ThreadPool::shared(unsigned threads) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  if (threads == 0) threads = default_thread_count();
+  const std::lock_guard<std::mutex> lock{mutex};
+  if (!pool || pool->thread_count() != threads) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool;
 }
 
 ThreadPool::~ThreadPool() {
@@ -100,10 +112,12 @@ void ThreadPool::parallel_for(
     for (std::size_t i = 0; i < helper_count; ++i) {
       tasks_.emplace_back([&] {
         drain();
-        {
-          const std::lock_guard<std::mutex> done_lock{done_mutex};
-          --helpers_remaining;
-        }
+        // Notify while still holding done_mutex: the waiting caller cannot
+        // observe helpers_remaining == 0 (and destroy done_cv/done_mutex on
+        // frame exit) until this helper releases the lock, which happens
+        // only after notify_one has returned.
+        const std::lock_guard<std::mutex> done_lock{done_mutex};
+        --helpers_remaining;
         done_cv.notify_one();
       });
     }

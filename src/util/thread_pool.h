@@ -49,6 +49,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Lazily-created process-wide pool with `threads` executors (0 means
+  /// default_thread_count()).  Built on first use and rebuilt only when a
+  /// different executor count is requested, so sequential sweeps that agree
+  /// on the thread count share one set of workers instead of spawning and
+  /// joining threads per call.  A rebuild invalidates previously returned
+  /// references; take the reference fresh per sweep and do not run sweeps on
+  /// it concurrently (parallel_for is not reentrant).
+  [[nodiscard]] static ThreadPool& shared(unsigned threads = 0);
+
   /// Total executor count (workers + the calling thread); always >= 1.
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size()) + 1;

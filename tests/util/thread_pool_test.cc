@@ -156,6 +156,29 @@ TEST(ThreadPool, PoolIsReusableAfterException) {
   EXPECT_EQ(sum, 45);
 }
 
+TEST(ThreadPool, SharedPoolReusesWorkersForSameCount) {
+  ThreadPool& a = ThreadPool::shared(2);
+  EXPECT_EQ(a.thread_count(), 2u);
+  // Same requested count returns the same pool — no thread churn.
+  EXPECT_EQ(&ThreadPool::shared(2), &a);
+
+  // A different count rebuilds (the old reference is invalidated).
+  ThreadPool& b = ThreadPool::shared(3);
+  EXPECT_EQ(b.thread_count(), 3u);
+  EXPECT_EQ(&ThreadPool::shared(3), &b);
+
+  EXPECT_EQ(ThreadPool::shared(0).thread_count(), default_thread_count());
+}
+
+TEST(ThreadPool, SharedPoolRunsSweeps) {
+  std::atomic<int> sum{0};
+  ThreadPool::shared(4).parallel_for(
+      100, 7, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) sum += static_cast<int>(i);
+      });
+  EXPECT_EQ(sum, 4950);
+}
+
 TEST(ThreadPool, ReusableAcrossManySweeps) {
   ThreadPool pool{3};
   for (int round = 0; round < 50; ++round) {
