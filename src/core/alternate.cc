@@ -32,6 +32,16 @@ struct Adjacency {
   std::vector<std::vector<std::pair<std::size_t, const PathEdge*>>> out;
 };
 
+// Degraded-coverage runs (min_samples lowered after heavy fault loss) can
+// leave an edge with a single surviving sample; from_summary would abort on
+// it, so fall back to a zero-variance point estimate instead.
+stats::MeanEstimate estimate_or_point(const stats::Summary& s) {
+  if (s.count() < 2) {
+    return stats::MeanEstimate{.mean = s.empty() ? 0.0 : s.mean()};
+  }
+  return stats::MeanEstimate::from_summary(s);
+}
+
 Adjacency build_adjacency(const PathTable& table) {
   Adjacency adj;
   adj.out.resize(table.hosts().size());
@@ -86,7 +96,7 @@ stats::MeanEstimate compose_estimate(std::span<const PathEdge* const> edges,
     for (const PathEdge* e : edges) {
       const double pi = std::min(e->loss.mean(), kMaxLoss);
       const double deriv = survive / (1.0 - pi);
-      out = out + stats::MeanEstimate::from_summary(e->loss).scaled(deriv);
+      out = out + estimate_or_point(e->loss).scaled(deriv);
     }
     out.mean = 1.0 - survive;
     return out;
@@ -94,7 +104,7 @@ stats::MeanEstimate compose_estimate(std::span<const PathEdge* const> edges,
   if (metric == Metric::kRtt) {
     stats::MeanEstimate out{};
     for (const PathEdge* e : edges) {
-      out = out + stats::MeanEstimate::from_summary(e->rtt);
+      out = out + estimate_or_point(e->rtt);
     }
     return out;
   }
@@ -204,8 +214,8 @@ bool analyze_one_pair(const PathTable& table, const Adjacency& adj,
   out.via = std::move(via);
   if (options.metric != Metric::kPropagation) {
     out.default_estimate = options.metric == Metric::kRtt
-                               ? stats::MeanEstimate::from_summary(direct.rtt)
-                               : stats::MeanEstimate::from_summary(direct.loss);
+                               ? estimate_or_point(direct.rtt)
+                               : estimate_or_point(direct.loss);
     out.alternate_estimate = compose_estimate(path_edges, options.metric);
   }
   return true;

@@ -8,7 +8,8 @@ namespace pathsel::meas {
 
 HostAvailability::HostAvailability(const AvailabilityConfig& config,
                                    std::size_t host_count,
-                                   Duration trace_duration) {
+                                   Duration trace_duration)
+    : trace_duration_{trace_duration} {
   PATHSEL_EXPECT(trace_duration > Duration{}, "trace duration must be positive");
   Rng rng{config.seed};
   down_.resize(host_count);
@@ -36,7 +37,9 @@ HostAvailability::HostAvailability(const AvailabilityConfig& config,
     while (cursor < end) {
       const double len_s =
           host_rng.exponential(up ? mean_up_s : mean_down_s) + 60.0;
-      const SimTime next = cursor + Duration::seconds(len_s);
+      // Clamp to the trace like add_downtime does; in-trace queries are
+      // unaffected, but published intervals must not reach past the end.
+      const SimTime next = std::min(cursor + Duration::seconds(len_s), end);
       if (!up) {
         down_[h].push_back(Interval{cursor, next});
       }
@@ -59,6 +62,35 @@ double HostAvailability::down_fraction(topo::HostId host) const {
   PATHSEL_EXPECT(host.index() < down_fraction_.size(),
                  "availability: unknown host");
   return down_fraction_[host.index()];
+}
+
+const std::vector<HostAvailability::Interval>& HostAvailability::down_intervals(
+    topo::HostId host) const {
+  PATHSEL_EXPECT(host.index() < down_.size(), "availability: unknown host");
+  return down_[host.index()];
+}
+
+void HostAvailability::add_downtime(topo::HostId host, SimTime begin,
+                                    SimTime end) {
+  PATHSEL_EXPECT(host.index() < down_.size(), "availability: unknown host");
+  const SimTime lo = std::max(begin, SimTime::start());
+  const SimTime hi = std::min(end, SimTime::start() + trace_duration_);
+  if (!(lo < hi)) return;
+
+  auto& intervals = down_[host.index()];
+  intervals.push_back(Interval{lo, hi});
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> merged;
+  merged.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (!merged.empty() && !(merged.back().end < iv.begin)) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals = std::move(merged);
 }
 
 }  // namespace pathsel::meas

@@ -36,6 +36,11 @@ struct AvailabilityConfig {
 
 class HostAvailability {
  public:
+  struct Interval {
+    SimTime begin;
+    SimTime end;  // exclusive
+  };
+
   HostAvailability(const AvailabilityConfig& config, std::size_t host_count,
                    Duration trace_duration);
 
@@ -44,13 +49,25 @@ class HostAvailability {
   /// Long-run down fraction configured for a host (0 for solid hosts).
   [[nodiscard]] double down_fraction(topo::HostId host) const;
 
+  /// The down intervals of one host: sorted by begin, disjoint, and
+  /// contained in [trace start, trace start + trace_duration()).
+  [[nodiscard]] const std::vector<Interval>& down_intervals(
+      topo::HostId host) const;
+
+  [[nodiscard]] Duration trace_duration() const noexcept {
+    return trace_duration_;
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept { return down_.size(); }
+
+  /// Layers an extra outage onto a host (e.g. a fault-plan crash episode);
+  /// the interval is clamped to the trace window and merged with any
+  /// overlapping intervals so the invariants above keep holding.
+  void add_downtime(topo::HostId host, SimTime begin, SimTime end);
+
  private:
-  struct Interval {
-    SimTime begin;
-    SimTime end;  // exclusive
-  };
   std::vector<std::vector<Interval>> down_;  // per host, sorted
   std::vector<double> down_fraction_;
+  Duration trace_duration_;
 };
 
 }  // namespace pathsel::meas

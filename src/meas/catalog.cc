@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "sim/fault.h"
 #include "topo/generator.h"
 #include "util/expect.h"
 
@@ -50,6 +51,21 @@ Catalog::Catalog(CatalogConfig config) : config_{config} {
 }
 
 Duration Catalog::scaled(Duration d) const { return d * config_.scale; }
+
+Dataset Catalog::collect_faulted(const sim::Network& net,
+                                 std::vector<topo::HostId> hosts,
+                                 CollectorConfig cfg, std::string name,
+                                 std::uint64_t tag) {
+  if (config_.fault_intensity <= 0.0) {
+    return collect(net, std::move(hosts), cfg, std::move(name));
+  }
+  const sim::FaultConfig fault_cfg = sim::FaultConfig::at_intensity(
+      config_.fault_intensity, config_.fault_seed ^ tag);
+  const sim::FaultPlan plan{fault_cfg, net.topology(), cfg.duration};
+  cfg.faults = &plan;
+  cfg.retry.max_retries = 2;
+  return collect(net, std::move(hosts), cfg, std::move(name));
+}
 
 const sim::Network& Catalog::world95() {
   if (!world95_) {
@@ -131,7 +147,7 @@ const Dataset& Catalog::d2() {
     cfg.first_sample_loss_only = true;  // rate limiters unidentifiable in 1995
     cfg.availability.seed = config_.seed ^ 0xd2aa;
     cfg.availability.dead_fraction = 0.015;
-    d2_ = collect(world95(), hosts, cfg, "D2");
+    d2_ = collect_faulted(world95(), hosts, cfg, "D2", 0xd2);
   }
   return *d2_;
 }
@@ -162,7 +178,7 @@ const Dataset& Catalog::n2() {
     cfg.mean_interval = Duration::seconds(200.0);
     cfg.availability.seed = config_.seed ^ 0x4eaa;
     cfg.availability.dead_fraction = 0.04;
-    n2_ = collect(world95(), hosts, cfg, "N2");
+    n2_ = collect_faulted(world95(), hosts, cfg, "N2", 0x4e32);
   }
   return *n2_;
 }
@@ -196,7 +212,7 @@ const Dataset& Catalog::uw1() {
     cfg.availability.seed = config_.seed ^ 0x57aa;
     cfg.availability.flaky_fraction = 0.15;
     cfg.availability.dead_fraction = 0.03;
-    uw1_ = collect(world98(), hosts, cfg, "UW1");
+    uw1_ = collect_faulted(world98(), hosts, cfg, "UW1", 0x5701);
   }
   return *uw1_;
 }
@@ -214,7 +230,7 @@ const Dataset& Catalog::uw3() {
     cfg.mean_interval = Duration::seconds(9.0 * 7.0 / 11.0);  // ~94k attempts
     cfg.availability.seed = config_.seed ^ 0x57bb;
     cfg.availability.dead_fraction = 0.10;
-    uw3_ = collect(world98(), hosts, cfg, "UW3");
+    uw3_ = collect_faulted(world98(), hosts, cfg, "UW3", 0x5703);
   }
   return *uw3_;
 }
@@ -238,7 +254,7 @@ const Dataset& Catalog::uw4a() {
     cfg.mean_interval = Duration::seconds(1000.0);
     cfg.episode_window = Duration::minutes(4);
     cfg.availability.flaky_fraction = 0.0;  // chosen for reliability: 100% cover
-    uw4a_ = collect(world98(), uw4_hosts_, cfg, "UW4-A");
+    uw4a_ = collect_faulted(world98(), uw4_hosts_, cfg, "UW4-A", 0x5704);
   }
   return *uw4a_;
 }
@@ -253,7 +269,7 @@ const Dataset& Catalog::uw4b() {
     cfg.duration = scaled(Duration::days(14));
     cfg.mean_interval = Duration::seconds(130.0);
     cfg.availability.flaky_fraction = 0.0;
-    uw4b_ = collect(world98(), uw4_hosts_, cfg, "UW4-B");
+    uw4b_ = collect_faulted(world98(), uw4_hosts_, cfg, "UW4-B", 0x5705);
   }
   return *uw4b_;
 }

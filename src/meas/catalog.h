@@ -30,6 +30,14 @@ struct CatalogConfig {
   std::uint64_t seed = 1999;
   /// Multiplies every trace duration (and hence measurement count).
   double scale = 1.0;
+  /// Fault-injection intensity in [0, 1] applied to every collected dataset
+  /// (sim::FaultConfig::at_intensity); campaigns then retry failures twice
+  /// with exponential backoff.  0 keeps the legacy fault-free campaigns
+  /// byte-identical.
+  double fault_intensity = 0.0;
+  /// Seed for the fault schedules (independent of the measurement seed so
+  /// the same campaign can be replayed under different fault draws).
+  std::uint64_t fault_seed = 1999;
 };
 
 class Catalog {
@@ -59,6 +67,13 @@ class Catalog {
                                       const std::vector<topo::HostId>& keep);
 
  private:
+  /// collect(), with the catalog's fault intensity layered on: builds a
+  /// FaultPlan seeded from fault_seed ^ tag for the campaign's duration and
+  /// enables bounded retries.  Zero intensity is a plain collect() call.
+  [[nodiscard]] Dataset collect_faulted(const sim::Network& net,
+                                        std::vector<topo::HostId> hosts,
+                                        CollectorConfig cfg, std::string name,
+                                        std::uint64_t tag);
   [[nodiscard]] Duration scaled(Duration d) const;
   [[nodiscard]] std::vector<topo::HostId> pick_hosts(
       const sim::Network& net, std::size_t count, std::size_t na_count,

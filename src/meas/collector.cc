@@ -1,6 +1,8 @@
 #include "meas/collector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "util/expect.h"
 
@@ -16,7 +18,8 @@ class Campaign {
         config_{config},
         rng_{config.seed},
         availability_{config.availability, network.topology().host_count(),
-                      config.duration} {
+                      config.duration},
+        end_{SimTime::start() + config.duration} {
     dataset_.name = std::move(name);
     dataset_.kind = config.kind;
     dataset_.duration = config.duration;
@@ -31,6 +34,20 @@ class Campaign {
       }
     }
     PATHSEL_EXPECT(targets_.size() >= 2, "campaign needs >= 2 targets");
+
+    if (config.faults != nullptr && config.faults->enabled()) {
+      plan_ = config.faults;
+      injector_.emplace(net_, *plan_);
+      // Crash/reboot episodes layer onto the availability model, so one
+      // is_up() check covers both long-run flakiness and injected crashes.
+      for (std::size_t h = 0; h < availability_.host_count(); ++h) {
+        const topo::HostId host{static_cast<std::int32_t>(h)};
+        for (const auto& iv : plan_->host_down_intervals(host)) {
+          availability_.add_downtime(host, iv.begin, iv.end);
+        }
+      }
+    }
+    fault_aware_ = plan_ != nullptr || config_.retry.max_retries > 0;
   }
 
   Dataset run() {
@@ -62,6 +79,10 @@ class Campaign {
  private:
   void measure(topo::HostId src, topo::HostId dst, SimTime t,
                std::int32_t episode) {
+    if (fault_aware_) {
+      attempt(src, dst, t, t, episode, 0);
+      return;
+    }
     Measurement m;
     m.when = t;
     m.src = src;
@@ -84,6 +105,79 @@ class Campaign {
       m.tcp_rtt_ms = r.rtt_ms;
       m.tcp_loss_rate = r.loss_rate;
     }
+    dataset_.measurements.push_back(std::move(m));
+  }
+
+  // One attempt of a fault-aware measurement; fills m's payload on success
+  // (and the partial traceroute payload on a probe failure, as the legacy
+  // path does) and returns the failure reason.
+  FailureReason try_once(Measurement& m, topo::HostId src, topo::HostId dst,
+                         SimTime t) {
+    if (!availability_.is_up(src, t) || !availability_.is_up(dst, t)) {
+      return FailureReason::kEndpointDown;
+    }
+    if (plan_ != nullptr && plan_->probe_stuck(src, dst, t)) {
+      return FailureReason::kStuckProbe;
+    }
+
+    const route::RouterPath* fwd = nullptr;
+    const route::RouterPath* rev = nullptr;
+    bool storm = false;
+    if (plan_ != nullptr) {
+      injector_->advance_to(t);
+      fwd = &injector_->effective_path(src, dst);
+      rev = &injector_->effective_path(dst, src);
+      if (!fwd->valid() || !rev->valid()) return FailureReason::kNoRoute;
+      if (injector_->blackholed(*fwd, t) || injector_->blackholed(*rev, t)) {
+        return FailureReason::kBlackhole;
+      }
+      storm = plan_->icmp_storm(dst, t);
+    }
+
+    if (config_.kind == MeasurementKind::kTraceroute) {
+      const sim::TracerouteResult r =
+          plan_ != nullptr
+              ? net_.traceroute_over(*fwd, *rev, src, dst, t, storm)
+              : net_.traceroute(src, dst, t);
+      m.samples = r.samples;
+      m.as_path = r.as_path;
+      return r.completed ? FailureReason::kNone : FailureReason::kProbeFailure;
+    }
+    const sim::TcpTransferResult r =
+        plan_ != nullptr ? net_.tcp_transfer_over(*fwd, *rev, src, dst, t)
+                         : net_.tcp_transfer(src, dst, t);
+    if (!r.completed) return FailureReason::kProbeFailure;
+    m.bandwidth_kBps = r.bandwidth_kBps;
+    m.tcp_rtt_ms = r.rtt_ms;
+    m.tcp_loss_rate = r.loss_rate;
+    return FailureReason::kNone;
+  }
+
+  void attempt(topo::HostId src, topo::HostId dst, SimTime first, SimTime t,
+               std::int32_t episode, int tried) {
+    Measurement m;
+    m.when = first;  // the logical measurement keeps its first-attempt time
+    m.src = src;
+    m.dst = dst;
+    m.episode = episode;
+    const FailureReason reason = try_once(m, src, dst, t);
+    m.attempts = static_cast<std::uint8_t>(std::min(tried + 1, 255));
+
+    if (reason != FailureReason::kNone && tried < config_.retry.max_retries) {
+      const double backoff_s =
+          config_.retry.initial_backoff.total_seconds() *
+          std::pow(config_.retry.backoff_multiplier, tried);
+      const SimTime next = t + Duration::seconds(backoff_s);
+      if (next < end_) {
+        queue_.schedule_at(
+            next, [this, src, dst, first, episode, tried](SimTime when) {
+              attempt(src, dst, first, when, episode, tried + 1);
+            });
+        return;
+      }
+    }
+    m.completed = reason == FailureReason::kNone;
+    m.failure = reason;
     dataset_.measurements.push_back(std::move(m));
   }
 
@@ -147,10 +241,14 @@ class Campaign {
   CollectorConfig config_;
   Rng rng_;
   HostAvailability availability_;
+  SimTime end_;
   sim::EventQueue queue_;
   Dataset dataset_;
   std::vector<topo::HostId> targets_;
   std::vector<Rng> server_rngs_;
+  const sim::FaultPlan* plan_ = nullptr;           // null when disabled
+  std::optional<sim::FaultInjector> injector_;     // engaged iff plan_
+  bool fault_aware_ = false;
 };
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "meas/availability.h"
 #include "meas/dataset.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 
 namespace pathsel::meas {
@@ -29,6 +30,17 @@ enum class Discipline {
   kUniformPerServer,
   kExponentialPair,
   kEpisodeFullMesh,
+};
+
+/// Bounded retry with exponential backoff for failed attempts, mirroring
+/// how the paper's collection scripts re-ran failed measurements.  The
+/// retried attempt happens at first-attempt time + initial_backoff *
+/// backoff_multiplier^retries_so_far; a retry that would land past the end
+/// of the trace is abandoned and the failure recorded.
+struct RetryPolicy {
+  int max_retries = 0;
+  Duration initial_backoff = Duration::seconds(30);
+  double backoff_multiplier = 2.0;
 };
 
 struct CollectorConfig {
@@ -47,6 +59,13 @@ struct CollectorConfig {
   AvailabilityConfig availability{};
   /// D2-style loss correction flag copied into the dataset.
   bool first_sample_loss_only = false;
+  /// Fault schedule layered onto the campaign.  Must outlive the collect()
+  /// call.  nullptr or a disabled plan takes the legacy fault-free code path
+  /// (same RNG draws, byte-identical datasets).
+  const sim::FaultPlan* faults = nullptr;
+  /// Retrying is fault-aware behavior: setting max_retries > 0 records
+  /// per-measurement failure reasons and attempt counts even without a plan.
+  RetryPolicy retry{};
 };
 
 /// Runs a campaign over the given hosts and returns the dataset.

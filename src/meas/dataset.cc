@@ -4,6 +4,18 @@
 
 namespace pathsel::meas {
 
+const char* to_string(FailureReason reason) noexcept {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kEndpointDown: return "endpoint down";
+    case FailureReason::kProbeFailure: return "probe failure";
+    case FailureReason::kBlackhole: return "blackhole";
+    case FailureReason::kNoRoute: return "no route";
+    case FailureReason::kStuckProbe: return "stuck probe";
+  }
+  return "?";
+}
+
 std::size_t Dataset::covered_paths() const {
   std::unordered_set<std::uint64_t> seen;
   for (const auto& m : measurements) {

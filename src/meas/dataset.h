@@ -21,12 +21,33 @@ namespace pathsel::meas {
 
 enum class MeasurementKind { kTraceroute, kTcpTransfer };
 
+/// Why a measurement attempt yielded no data.  Recorded by fault-aware
+/// campaigns; legacy (fault-free) collection leaves kNone even on failures,
+/// which keeps historical datasets byte-identical.
+enum class FailureReason : std::uint8_t {
+  kNone = 0,          // completed, or legacy failure with no recorded cause
+  kEndpointDown = 1,  // source or target host unavailable (dead, flaky, crashed)
+  kProbeFailure = 2,  // network-level failure: unreachable or timed out
+  kBlackhole = 3,     // path crossed a failed link before routing reconverged
+  kNoRoute = 4,       // routing had no path between the endpoints
+  kStuckProbe = 5,    // probe process hung until the five-minute timeout
+};
+
+inline constexpr std::size_t kFailureReasonCount = 6;
+
+[[nodiscard]] const char* to_string(FailureReason reason) noexcept;
+
 struct Measurement {
   SimTime when;
   topo::HostId src;
   topo::HostId dst;
   std::int32_t episode = -1;  // UW4-A episode index; -1 for other disciplines
   bool completed = false;
+  /// Final failure cause (kNone when completed or for legacy datasets).
+  FailureReason failure = FailureReason::kNone;
+  /// Attempts spent on this measurement, including retries; 1 unless the
+  /// campaign ran with a retry policy.
+  std::uint8_t attempts = 1;
 
   // Traceroute payload.
   std::array<sim::ProbeSample, 3> samples{};

@@ -1,17 +1,42 @@
 #include "meas/serialize.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 namespace pathsel::meas {
 
 namespace {
 
+// Hard caps against adversarial counts: far above anything the collectors
+// produce, far below anything that could exhaust memory while "parsing".
+constexpr std::size_t kMaxHosts = 1'000'000;
+constexpr std::size_t kMaxAsPath = 1024;
+
 bool fail(std::string* error, const std::string& reason) {
   if (error != nullptr) *error = reason;
   return false;
 }
+
+// Strict whole-string integer parse; rejects "12x", "", overflow, and (for
+// parse_i64's callers that require it) nothing else — range checks are the
+// caller's job.
+bool parse_i64(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
 
 }  // namespace
 
@@ -29,8 +54,6 @@ void write_dataset(std::ostream& os, const Dataset& dataset) {
   for (const auto h : dataset.hosts) os << ' ' << h.value();
   os << '\n';
 
-  const char* const float_fmt_note = "";  // values use max_digits10 via ostream
-  (void)float_fmt_note;
   os.precision(17);
   for (const auto& m : dataset.measurements) {
     os << "m " << m.when.since_start().total_millis() << ' ' << m.src.value()
@@ -45,6 +68,14 @@ void write_dataset(std::ostream& os, const Dataset& dataset) {
     } else {
       os << ' ' << m.bandwidth_kBps << ' ' << m.tcp_rtt_ms << ' '
          << m.tcp_loss_rate;
+    }
+    // Fault-aware extras; omitted at their defaults so fault-free datasets
+    // keep the historical byte stream.
+    if (m.failure != FailureReason::kNone) {
+      os << " f " << static_cast<int>(m.failure);
+    }
+    if (m.attempts > 1) {
+      os << " a " << static_cast<int>(m.attempts);
     }
     os << '\n';
   }
@@ -86,17 +117,32 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
     fail(error, "unknown kind: " + value);
     return std::nullopt;
   }
+  std::int64_t parsed = 0;
   if (!expect_field("duration_ms", value)) return std::nullopt;
-  ds.duration = Duration::millis(std::strtoll(value.c_str(), nullptr, 10));
+  if (!parse_i64(value, parsed) || parsed < 0) {
+    fail(error, "invalid duration_ms: " + value);
+    return std::nullopt;
+  }
+  ds.duration = Duration::millis(parsed);
   if (!expect_field("first_sample_loss_only", value)) return std::nullopt;
+  if (value != "0" && value != "1") {
+    fail(error, "invalid first_sample_loss_only: " + value);
+    return std::nullopt;
+  }
   ds.first_sample_loss_only = value == "1";
   if (!expect_field("episodes", value)) return std::nullopt;
-  ds.episode_count = static_cast<std::int32_t>(std::strtol(value.c_str(), nullptr, 10));
+  if (!parse_i64(value, parsed) || parsed < 0 ||
+      parsed > std::numeric_limits<std::int32_t>::max()) {
+    fail(error, "invalid episodes: " + value);
+    return std::nullopt;
+  }
+  ds.episode_count = static_cast<std::int32_t>(parsed);
 
   if (!next_line()) {
     fail(error, "missing hosts line");
     return std::nullopt;
   }
+  std::unordered_set<std::int32_t> host_ids;
   {
     std::istringstream ls{line};
     std::string key;
@@ -105,13 +151,29 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
       fail(error, "malformed hosts line");
       return std::nullopt;
     }
+    if (count > kMaxHosts) {
+      fail(error, "hosts count out of range");
+      return std::nullopt;
+    }
     for (std::size_t i = 0; i < count; ++i) {
       std::int32_t id = 0;
       if (!(ls >> id)) {
         fail(error, "hosts line shorter than its count");
         return std::nullopt;
       }
+      if (id < 0) {
+        fail(error, "negative host id");
+        return std::nullopt;
+      }
+      if (!host_ids.insert(id).second) {
+        fail(error, "duplicate host id");
+        return std::nullopt;
+      }
       ds.hosts.push_back(topo::HostId{id});
+    }
+    if (ls >> value) {
+      fail(error, "trailing tokens on hosts line");
+      return std::nullopt;
     }
   }
 
@@ -133,6 +195,22 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
       fail(error, "malformed measurement line: " + line);
       return std::nullopt;
     }
+    if (when_ms < 0) {
+      fail(error, "negative measurement time: " + line);
+      return std::nullopt;
+    }
+    if (!host_ids.contains(src) || !host_ids.contains(dst)) {
+      fail(error, "measurement references undeclared host: " + line);
+      return std::nullopt;
+    }
+    if (src == dst) {
+      fail(error, "measurement with src == dst: " + line);
+      return std::nullopt;
+    }
+    if (m.episode < -1 || completed < 0 || completed > 1) {
+      fail(error, "malformed measurement line: " + line);
+      return std::nullopt;
+    }
     m.when = SimTime::at(Duration::millis(when_ms));
     m.src = topo::HostId{src};
     m.dst = topo::HostId{dst};
@@ -144,11 +222,19 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
           fail(error, "malformed traceroute samples: " + line);
           return std::nullopt;
         }
+        if (lost < 0 || lost > 1 || !finite_nonneg(s.rtt_ms)) {
+          fail(error, "sample out of range: " + line);
+          return std::nullopt;
+        }
         s.lost = lost != 0;
       }
       std::size_t as_count = 0;
       if (!(ls >> as_count)) {
         fail(error, "missing AS path length: " + line);
+        return std::nullopt;
+      }
+      if (as_count > kMaxAsPath) {
+        fail(error, "AS path length out of range: " + line);
         return std::nullopt;
       }
       for (std::size_t i = 0; i < as_count; ++i) {
@@ -157,11 +243,54 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
           fail(error, "AS path shorter than its count: " + line);
           return std::nullopt;
         }
+        if (as < 0) {
+          fail(error, "negative AS id: " + line);
+          return std::nullopt;
+        }
         m.as_path.push_back(topo::AsId{as});
       }
     } else {
       if (!(ls >> m.bandwidth_kBps >> m.tcp_rtt_ms >> m.tcp_loss_rate)) {
         fail(error, "malformed transfer fields: " + line);
+        return std::nullopt;
+      }
+      if (!finite_nonneg(m.bandwidth_kBps) || !finite_nonneg(m.tcp_rtt_ms) ||
+          !finite_nonneg(m.tcp_loss_rate) || m.tcp_loss_rate > 1.0) {
+        fail(error, "transfer fields out of range: " + line);
+        return std::nullopt;
+      }
+    }
+    // Optional fault-aware tokens, each at most once, in any order.
+    bool saw_failure = false;
+    bool saw_attempts = false;
+    std::string token;
+    while (ls >> token) {
+      std::int64_t v = 0;
+      std::string arg;
+      if (!(ls >> arg) || !parse_i64(arg, v)) {
+        fail(error, "malformed trailing token: " + line);
+        return std::nullopt;
+      }
+      if (token == "f" && !saw_failure) {
+        if (v < 1 || v >= static_cast<std::int64_t>(kFailureReasonCount)) {
+          fail(error, "failure reason out of range: " + line);
+          return std::nullopt;
+        }
+        if (m.completed) {
+          fail(error, "completed measurement with a failure reason: " + line);
+          return std::nullopt;
+        }
+        m.failure = static_cast<FailureReason>(v);
+        saw_failure = true;
+      } else if (token == "a" && !saw_attempts) {
+        if (v < 1 || v > 255) {
+          fail(error, "attempts out of range: " + line);
+          return std::nullopt;
+        }
+        m.attempts = static_cast<std::uint8_t>(v);
+        saw_attempts = true;
+      } else {
+        fail(error, "unexpected trailing token: " + line);
         return std::nullopt;
       }
     }

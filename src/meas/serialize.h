@@ -15,6 +15,16 @@
 //   m <when_ms> <src> <dst> <episode> <completed>
 //     traceroute: ... <lost0> <rtt0> <lost1> <rtt1> <lost2> <rtt2> <n_as> <as...>
 //     tcp:        ... <bandwidth_kBps> <rtt_ms> <loss_rate>
+//   Fault-aware campaigns append optional trailing tokens to a measurement:
+//     f <reason>    failure reason code (FailureReason), written when nonzero
+//     a <attempts>  attempts including retries, written when > 1
+//   Legacy datasets contain neither token, so writing a fault-free dataset
+//   reproduces the historical byte stream exactly.
+//
+// The reader validates everything it parses — host ids must be declared in
+// the hosts line, RTTs/rates must be finite and in range, counts must be
+// sane — and rejects trailing garbage; a malformed or truncated file yields
+// an error, never a crash or a partially filled dataset.
 #pragma once
 
 #include <iosfwd>

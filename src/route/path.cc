@@ -87,8 +87,9 @@ RouterPath PathResolver::resolve(topo::RouterId from, topo::RouterId to) const {
     const topo::AsId here = path.as_path[i];
     const topo::AsId next = path.as_path[i + 1];
     const auto candidates = topo_->links_between(here, next);
-    PATHSEL_EXPECT(!candidates.empty(),
-                   "AS path crosses ASes with no physical link");
+    // BGP only advertises AS paths with a live crossing link, but a failure
+    // can sever it before routing reconverges; no route, not a bug.
+    if (candidates.empty()) return {};
 
     // Choose the egress link.
     topo::LinkId chosen{};
@@ -114,7 +115,9 @@ RouterPath PathResolver::resolve(topo::RouterId from, topo::RouterId to) const {
         chosen = link_id;
       }
     }
-    PATHSEL_EXPECT(chosen.valid(), "no usable egress link");
+    // Every candidate egress can be IGP-unreachable when a failure
+    // partitions the AS internally; again a no-route outcome.
+    if (!chosen.valid() || best_cost == kInf) return {};
 
     const topo::Link& l = topo_->link(chosen);
     const bool a_side_here = topo_->router(l.a).as == here;
@@ -128,6 +131,7 @@ RouterPath PathResolver::resolve(topo::RouterId from, topo::RouterId to) const {
     current = ingress;
   }
 
+  if (igp_->distance(current, to) == kInf) return {};  // partitioned dst AS
   for (const auto& hop : igp_->segment(current, to)) {
     path.hops.push_back(hop);
   }

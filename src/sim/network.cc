@@ -80,9 +80,16 @@ double Network::bottleneck_available_kBps(const route::RouterPath& path,
 
 TracerouteResult Network::traceroute(topo::HostId src, topo::HostId dst,
                                      SimTime t) const {
+  return traceroute_over(default_path(src, dst), default_path(dst, src), src,
+                         dst, t);
+}
+
+TracerouteResult Network::traceroute_over(const route::RouterPath& fwd,
+                                          const route::RouterPath& rev,
+                                          topo::HostId src, topo::HostId dst,
+                                          SimTime t,
+                                          bool force_rate_limited) const {
   Rng rng = probe_rng(0x7261636bULL, src, dst, t);
-  const route::RouterPath& fwd = default_path(src, dst);
-  const route::RouterPath& rev = default_path(dst, src);
 
   TracerouteResult result;
   result.as_path = fwd.as_path;
@@ -119,7 +126,8 @@ TracerouteResult Network::traceroute(topo::HostId src, topo::HostId dst,
   absorb(fwd);
   absorb(rev);
 
-  const bool rate_limited = topo_.host(dst).icmp_rate_limited;
+  const bool rate_limited =
+      force_rate_limited || topo_.host(dst).icmp_rate_limited;
   for (std::size_t i = 0; i < result.samples.size(); ++i) {
     ProbeSample& sample = result.samples[i];
     bool lost = false;
@@ -144,13 +152,19 @@ TracerouteResult Network::traceroute(topo::HostId src, topo::HostId dst,
 
 TcpTransferResult Network::tcp_transfer(topo::HostId src, topo::HostId dst,
                                         SimTime t) const {
+  return tcp_transfer_over(default_path(src, dst), default_path(dst, src), src,
+                           dst, t);
+}
+
+TcpTransferResult Network::tcp_transfer_over(const route::RouterPath& fwd,
+                                             const route::RouterPath& rev,
+                                             topo::HostId src,
+                                             topo::HostId dst,
+                                             SimTime t) const {
   Rng rng = probe_rng(0x74637031ULL, src, dst, t);
   TcpTransferResult result;
   if (rng.bernoulli(config_.measurement_failure_rate)) return result;
   result.completed = true;
-
-  const route::RouterPath& fwd = default_path(src, dst);
-  const route::RouterPath& rev = default_path(dst, src);
 
   const double base_rtt = expected_one_way_ms(fwd, t) +
                           expected_one_way_ms(rev, t) +

@@ -89,6 +89,23 @@ class Network {
   [[nodiscard]] TcpTransferResult tcp_transfer(topo::HostId src,
                                                topo::HostId dst, SimTime t) const;
 
+  /// Traceroute over explicitly supplied forward/reverse paths.  The fault
+  /// injector re-resolves paths as links fail mid-trace and probes them via
+  /// this overload; `force_rate_limited` emulates an ICMP rate-limit storm
+  /// at the target.  Probe noise is keyed on (seed, kind, src, dst, t), so
+  /// probing the default paths here is bit-identical to traceroute().
+  [[nodiscard]] TracerouteResult traceroute_over(
+      const route::RouterPath& fwd, const route::RouterPath& rev,
+      topo::HostId src, topo::HostId dst, SimTime t,
+      bool force_rate_limited = false) const;
+
+  /// TCP transfer over explicitly supplied forward/reverse paths.
+  [[nodiscard]] TcpTransferResult tcp_transfer_over(const route::RouterPath& fwd,
+                                                    const route::RouterPath& rev,
+                                                    topo::HostId src,
+                                                    topo::HostId dst,
+                                                    SimTime t) const;
+
   // --- ground-truth inspection (used by analyses and tests) -----------------
 
   /// Expected one-way delay of a path at time t (propagation + mean queueing

@@ -1,6 +1,7 @@
 #include "topo/topology.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/expect.h"
 
@@ -144,6 +145,18 @@ std::vector<LinkId> Topology::links_between(AsId a, AsId b) const {
       out.push_back(l.id);
     }
   }
+  return out;
+}
+
+std::vector<std::vector<LinkId>> Topology::exchange_fabrics() const {
+  std::map<std::size_t, std::vector<LinkId>> by_city;
+  for (const Link& l : links_) {
+    if (l.kind != LinkKind::kPublicExchange) continue;
+    by_city[routers_[l.a.index()].city].push_back(l.id);
+  }
+  std::vector<std::vector<LinkId>> out;
+  out.reserve(by_city.size());
+  for (auto& [city, group] : by_city) out.push_back(std::move(group));
   return out;
 }
 

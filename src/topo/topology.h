@@ -138,6 +138,13 @@ class Topology {
   /// All inter-AS links whose endpoints are in the two given ASes.
   [[nodiscard]] std::vector<LinkId> links_between(AsId a, AsId b) const;
 
+  /// Public-exchange links grouped by shared fabric.  The generator places
+  /// one NAP/MAE per city, so a fabric is the set of public-exchange links
+  /// whose endpoints meet in one city; a fabric failure takes the whole
+  /// group down together (the MAE-East scenario).  Groups are returned in
+  /// ascending city order, each group in ascending link order.
+  [[nodiscard]] std::vector<std::vector<LinkId>> exchange_fabrics() const;
+
   /// True if the two ASes share at least one inter-AS link.
   [[nodiscard]] bool adjacent(AsId a, AsId b) const;
 

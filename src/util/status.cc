@@ -1,0 +1,27 @@
+#include "util/status.h"
+
+namespace pathsel {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kIoError: return "io error";
+    case ErrorCode::kParseError: return "parse error";
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kInsufficientData: return "insufficient data";
+    case ErrorCode::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = pathsel::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pathsel

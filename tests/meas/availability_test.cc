@@ -83,6 +83,102 @@ TEST(Availability, DifferentSeedsDiffer) {
   EXPECT_GT(diff, 0);
 }
 
+TEST(Availability, DownIntervalInvariantsAndIsUpConsistency) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 1.0;
+  const Duration trace = Duration::days(14);
+  const HostAvailability av{cfg, 12, trace};
+  EXPECT_EQ(av.host_count(), 12u);
+  EXPECT_EQ(av.trace_duration().total_millis(), trace.total_millis());
+  const SimTime end = SimTime::start() + trace;
+  for (int h = 0; h < 12; ++h) {
+    const auto& ivs = av.down_intervals(topo::HostId{h});
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      EXPECT_LT(ivs[i].begin, ivs[i].end);
+      EXPECT_FALSE(ivs[i].begin < SimTime::start());
+      EXPECT_FALSE(end < ivs[i].end);
+      if (i > 0) {
+        EXPECT_FALSE(ivs[i].begin < ivs[i - 1].end);
+      }
+    }
+    // is_up must agree with the published intervals at sampled times.
+    for (int minute = 0; minute < 14 * 24 * 60; minute += 97) {
+      const SimTime t = SimTime::start() + Duration::minutes(minute);
+      bool in_interval = false;
+      for (const auto& iv : ivs) {
+        in_interval = in_interval || (!(t < iv.begin) && t < iv.end);
+      }
+      EXPECT_EQ(av.is_up(topo::HostId{h}, t), !in_interval);
+    }
+  }
+}
+
+TEST(Availability, DownFractionMatchesSampledDowntime) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 1.0;
+  cfg.min_down_fraction = 0.3;
+  cfg.max_down_fraction = 0.5;
+  const HostAvailability av{cfg, 25, Duration::days(60)};
+  double configured = 0.0;
+  int down = 0;
+  int total = 0;
+  for (int h = 0; h < 25; ++h) {
+    configured += av.down_fraction(topo::HostId{h});
+    for (int hour = 0; hour < 60 * 24; ++hour) {
+      ++total;
+      down += av.is_up(topo::HostId{h}, SimTime::start() + Duration::hours(hour))
+                  ? 0
+                  : 1;
+    }
+  }
+  const double sampled = static_cast<double>(down) / total;
+  EXPECT_NEAR(sampled, configured / 25.0, 0.10);
+}
+
+TEST(Availability, AddDowntimeClampsAndMerges) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 0.0;
+  HostAvailability av{cfg, 3, Duration::days(1)};
+  const topo::HostId h{1};
+  const SimTime start = SimTime::start();
+  // Overlapping and touching additions collapse to one interval; an
+  // interval reaching past the trace is clamped to its end.
+  av.add_downtime(h, start + Duration::hours(2), start + Duration::hours(4));
+  av.add_downtime(h, start + Duration::hours(3), start + Duration::hours(5));
+  av.add_downtime(h, start + Duration::hours(5), start + Duration::hours(6));
+  av.add_downtime(h, start + Duration::hours(20), start + Duration::hours(40));
+  const auto& ivs = av.down_intervals(h);
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].begin, start + Duration::hours(2));
+  EXPECT_EQ(ivs[0].end, start + Duration::hours(6));
+  EXPECT_EQ(ivs[1].begin, start + Duration::hours(20));
+  EXPECT_EQ(ivs[1].end, start + Duration::hours(24));  // clamped to trace end
+  EXPECT_TRUE(av.is_up(h, start + Duration::hours(1)));
+  EXPECT_FALSE(av.is_up(h, start + Duration::hours(3)));
+  EXPECT_FALSE(av.is_up(h, start + Duration::hours(5)));
+  EXPECT_TRUE(av.is_up(h, start + Duration::hours(10)));
+  EXPECT_FALSE(av.is_up(h, start + Duration::hours(22)));
+  // The untouched host is unaffected.
+  EXPECT_TRUE(av.is_up(topo::HostId{0}, start + Duration::hours(3)));
+}
+
+TEST(Availability, AddDowntimeKeepsIntervalsDisjoint) {
+  AvailabilityConfig cfg;
+  cfg.flaky_fraction = 1.0;  // pre-existing intervals to merge into
+  HostAvailability av{cfg, 8, Duration::days(30)};
+  for (int h = 0; h < 8; ++h) {
+    av.add_downtime(topo::HostId{h}, SimTime::start() + Duration::days(h),
+                    SimTime::start() + Duration::days(h + 2));
+    const auto& ivs = av.down_intervals(topo::HostId{h});
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      EXPECT_LT(ivs[i - 1].end, ivs[i].begin);
+      EXPECT_LT(ivs[i].begin, ivs[i].end);
+    }
+    EXPECT_FALSE(
+        av.is_up(topo::HostId{h}, SimTime::start() + Duration::days(h)));
+  }
+}
+
 TEST(Availability, UnknownHostAborts) {
   const HostAvailability av{AvailabilityConfig{}, 3, Duration::days(1)};
   EXPECT_DEATH((void)av.is_up(topo::HostId{9}, SimTime::start()), "unknown");

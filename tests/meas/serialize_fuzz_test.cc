@@ -1,0 +1,245 @@
+// Adversarial-input hardening for meas::read_dataset: every entry of the
+// malformed corpus must be rejected with an error message — never a crash,
+// an abort, or a partially filled dataset (run under ASan/UBSan in CI).
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "meas/serialize.h"
+#include "test_util.h"
+
+namespace pathsel::meas {
+namespace {
+
+constexpr const char* kHeader =
+    "pathsel-dataset v1\n"
+    "name fuzz\n"
+    "kind traceroute\n"
+    "duration_ms 1000\n"
+    "first_sample_loss_only 0\n"
+    "episodes 0\n"
+    "hosts 3 0 1 2\n";
+
+constexpr const char* kTcpHeader =
+    "pathsel-dataset v1\n"
+    "name fuzz\n"
+    "kind tcp\n"
+    "duration_ms 1000\n"
+    "first_sample_loss_only 0\n"
+    "episodes 0\n"
+    "hosts 3 0 1 2\n";
+
+void expect_rejected(const std::string& text, const char* why) {
+  std::stringstream ss{text};
+  std::string error;
+  EXPECT_FALSE(read_dataset(ss, &error).has_value()) << why << "\n" << text;
+  EXPECT_FALSE(error.empty()) << why;
+}
+
+TEST(SerializeFuzz, GarbageHeaders) {
+  expect_rejected("", "empty input");
+  expect_rejected("\x01\x02\x7f\x03garbage", "binary garbage");
+  expect_rejected("pathsel-dataset v2\n", "unsupported version");
+  expect_rejected("pathsel-dataset v1\nname x\nkind traceroute\n",
+                  "truncated header block");
+  expect_rejected(
+      "pathsel-dataset v1\nkind traceroute\nname x\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 0\n",
+      "fields out of order");
+}
+
+TEST(SerializeFuzz, MalformedHeaderValues) {
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms -5\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 0\n",
+      "negative duration");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 12x\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 0\n",
+      "non-numeric duration");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 2\nepisodes 0\nhosts 0\n",
+      "boolean out of range");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes -3\nhosts 0\n",
+      "negative episodes");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms "
+      "99999999999999999999999999\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 0\n",
+      "duration overflow");
+}
+
+TEST(SerializeFuzz, HostsLineAttacks) {
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 99999999999 0\n",
+      "absurd host count must not allocate");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 3 0 1\n",
+      "fewer ids than the count");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 2 0 -4\n",
+      "negative host id");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 2 0 0\n",
+      "duplicate host id");
+  expect_rejected(
+      "pathsel-dataset v1\nname x\nkind traceroute\nduration_ms 1\n"
+      "first_sample_loss_only 0\nepisodes 0\nhosts 2 0 1 junk\n",
+      "trailing tokens after the host list");
+}
+
+TEST(SerializeFuzz, MeasurementLineAttacks) {
+  expect_rejected(std::string{kHeader} + "x 0 0 1 -1 1\n", "unknown line tag");
+  expect_rejected(std::string{kHeader} + "m 0 0 9 -1 1 0 1 0 1 0 1 0\n",
+                  "dst not in the declared host set");
+  expect_rejected(std::string{kHeader} + "m 0 7 1 -1 1 0 1 0 1 0 1 0\n",
+                  "src not in the declared host set");
+  expect_rejected(std::string{kHeader} + "m 0 1 1 -1 1 0 1 0 1 0 1 0\n",
+                  "src == dst");
+  expect_rejected(std::string{kHeader} + "m -50 0 1 -1 1 0 1 0 1 0 1 0\n",
+                  "negative measurement time");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -2 1 0 1 0 1 0 1 0\n",
+                  "episode below -1");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 2 0 1 0 1 0 1 0\n",
+                  "completed flag out of range");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 -2.5 0 1 0 1 0\n",
+                  "negative RTT");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 nan 0 1 0 1 0\n",
+                  "NaN RTT");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 inf 0 1 0 1 0\n",
+                  "infinite RTT");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 3 1 0 1 0 1 0\n",
+                  "lost flag out of range");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1\n",
+                  "mid-measurement EOF (missing samples)");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1\n",
+                  "missing AS path length");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1 5000 1\n",
+                  "oversized AS list");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1 3 7 8\n",
+                  "AS list shorter than its count");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1 1 -7\n",
+                  "negative AS id");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1 0 junk\n",
+                  "trailing garbage after a measurement");
+}
+
+TEST(SerializeFuzz, TcpFieldAttacks) {
+  expect_rejected(std::string{kTcpHeader} + "m 0 0 1 -1 1 100\n",
+                  "mid-measurement EOF (missing transfer fields)");
+  expect_rejected(std::string{kTcpHeader} + "m 0 0 1 -1 1 -10 5 0.1\n",
+                  "negative bandwidth");
+  expect_rejected(std::string{kTcpHeader} + "m 0 0 1 -1 1 100 5 1.5\n",
+                  "loss rate above 1");
+  expect_rejected(std::string{kTcpHeader} + "m 0 0 1 -1 1 nan 5 0.1\n",
+                  "NaN bandwidth");
+}
+
+TEST(SerializeFuzz, FaultTokenAttacks) {
+  const std::string ok_prefix =
+      std::string{kHeader} + "m 0 0 1 -1 0 0 1 0 1 0 1 0";
+  expect_rejected(ok_prefix + " f\n", "f token without a value");
+  expect_rejected(ok_prefix + " f 0\n", "failure reason zero is implicit");
+  expect_rejected(ok_prefix + " f 6\n", "failure reason out of range");
+  expect_rejected(ok_prefix + " f 2 f 3\n", "duplicate failure token");
+  expect_rejected(ok_prefix + " a 0\n", "attempts below 1");
+  expect_rejected(ok_prefix + " a 256\n", "attempts above 255");
+  expect_rejected(ok_prefix + " a 2 a 3\n", "duplicate attempts token");
+  expect_rejected(ok_prefix + " z 1\n", "unknown trailing token");
+  expect_rejected(std::string{kHeader} + "m 0 0 1 -1 1 0 1 0 1 0 1 0 f 2\n",
+                  "failure reason on a completed measurement");
+}
+
+TEST(SerializeFuzz, ValidFaultTokensAccepted) {
+  const std::string text =
+      std::string{kHeader} + "m 0 0 1 -1 0 0 1 0 1 0 1 0 f 3 a 2\n";
+  std::stringstream ss{text};
+  std::string error;
+  const auto ds = read_dataset(ss, &error);
+  ASSERT_TRUE(ds.has_value()) << error;
+  ASSERT_EQ(ds->measurements.size(), 1u);
+  EXPECT_EQ(ds->measurements[0].failure, FailureReason::kBlackhole);
+  EXPECT_EQ(ds->measurements[0].attempts, 2);
+}
+
+TEST(SerializeFuzz, FailureAndAttemptsRoundTrip) {
+  auto ds = test::make_dataset(3);
+  test::add_invocation(ds, 0, 1, {10.0, 11.0, 12.0});
+  Measurement failed;
+  failed.when = SimTime::start() + Duration::minutes(5);
+  failed.src = topo::HostId{1};
+  failed.dst = topo::HostId{2};
+  failed.completed = false;
+  failed.failure = FailureReason::kNoRoute;
+  failed.attempts = 3;
+  ds.measurements.push_back(failed);
+
+  std::stringstream ss;
+  write_dataset(ss, ds);
+  std::string error;
+  const auto loaded = read_dataset(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->measurements.size(), 2u);
+  EXPECT_EQ(loaded->measurements[0].failure, FailureReason::kNone);
+  EXPECT_EQ(loaded->measurements[0].attempts, 1);
+  EXPECT_EQ(loaded->measurements[1].failure, FailureReason::kNoRoute);
+  EXPECT_EQ(loaded->measurements[1].attempts, 3);
+}
+
+TEST(SerializeFuzz, DefaultFieldsKeepTheLegacyByteStream) {
+  auto ds = test::make_dataset(3);
+  test::add_invocation(ds, 0, 1, {10.0, 11.0, 12.0});
+  std::stringstream legacy;
+  write_dataset(legacy, ds);
+
+  ds.measurements[0].failure = FailureReason::kProbeFailure;
+  ds.measurements[0].completed = false;
+  ds.measurements[0].attempts = 2;
+  std::stringstream faulted;
+  write_dataset(faulted, ds);
+  EXPECT_NE(legacy.str(), faulted.str());
+
+  ds.measurements[0].failure = FailureReason::kNone;
+  ds.measurements[0].completed = true;
+  ds.measurements[0].attempts = 1;
+  std::stringstream restored;
+  write_dataset(restored, ds);
+  EXPECT_EQ(legacy.str(), restored.str());
+}
+
+// Every prefix of a valid file must parse to either a clean error or a valid
+// shorter dataset (truncation at a line boundary), never crash or hand back
+// partially parsed garbage.
+TEST(SerializeFuzz, TruncationSweep) {
+  auto ds = test::make_dataset(3);
+  test::add_invocation(ds, 0, 1, {10.5, -1.0, 30.25});
+  ds.measurements.back().as_path = {topo::AsId{7}, topo::AsId{3}};
+  test::add_invocation(ds, 2, 0, {99.0, 98.0, 97.0});
+  std::stringstream ss;
+  write_dataset(ss, ds);
+  const std::string full = ss.str();
+
+  std::size_t parsed_ok = 0;
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    std::stringstream prefix{full.substr(0, cut)};
+    const auto loaded = read_dataset(prefix);
+    if (loaded.has_value()) {
+      ++parsed_ok;
+      EXPECT_LE(loaded->measurements.size(), ds.measurements.size());
+      EXPECT_EQ(loaded->hosts, ds.hosts);
+    }
+  }
+  EXPECT_GT(parsed_ok, 0u);          // the full file and line-boundary cuts
+  EXPECT_LT(parsed_ok, full.size()); // mid-line cuts must all be rejected
+}
+
+}  // namespace
+}  // namespace pathsel::meas

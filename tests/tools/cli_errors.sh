@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Exit-code contract for pathsel_cli: 0 ok, 1 data error, 2 usage,
+# 3 unreadable input, 4 parse error.  Every failure must also print a
+# one-line diagnostic on stderr.
+set -u
+
+CLI="${1:?usage: cli_errors.sh <path-to-pathsel_cli>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+
+# expect <code> <description> -- <argv...>
+expect() {
+  local want="$1" desc="$2"
+  shift 3
+  local err rc
+  err="$("$CLI" "$@" 2>&1 >/dev/null)"
+  rc=$?
+  if [[ "$rc" != "$want" ]]; then
+    echo "FAIL: $desc: expected exit $want, got $rc (args: $*)" >&2
+    failures=$((failures + 1))
+  elif [[ "$want" != 0 && -z "$err" ]]; then
+    echo "FAIL: $desc: exit $rc but no diagnostic on stderr" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+expect 2 "no arguments" --
+expect 2 "unknown command" -- frobnicate
+expect 2 "unknown flag" -- info --bogus x
+expect 2 "missing --in" -- info
+expect 2 "flag without value" -- analyze --in
+expect 3 "nonexistent input file" -- info --in "$TMP/no-such-file"
+
+printf 'this is not a dataset\n' > "$TMP/garbage"
+expect 4 "garbage input file" -- info --in "$TMP/garbage"
+
+printf 'pathsel-dataset v1\nname x\nkind traceroute\nduration_ms -1\n' \
+  > "$TMP/badheader"
+expect 4 "malformed header" -- analyze --in "$TMP/badheader"
+
+expect 2 "unknown dataset name" -- generate --dataset NOPE --out "$TMP/x"
+expect 2 "non-numeric seed" -- generate --dataset UW3 --seed banana --out "$TMP/x"
+expect 2 "scale out of range" -- generate --dataset UW3 --scale 0 --out "$TMP/x"
+expect 2 "fault intensity out of range" -- \
+  generate --dataset UW3 --faults 1.5 --out "$TMP/x"
+expect 2 "bad metric" -- analyze --in "$TMP/garbage" --metric vibes
+expect 2 "threads out of range" -- \
+  analyze --in "$TMP/garbage" --threads 99999
+
+# Happy paths: generate once, then exercise info/analyze on the result.
+expect 0 "generate" -- \
+  generate --dataset UW3 --scale 0.01 --out "$TMP/uw3.ds"
+expect 0 "info" -- info --in "$TMP/uw3.ds"
+expect 0 "analyze rtt" -- \
+  analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2
+expect 1 "bandwidth on a traceroute dataset" -- \
+  analyze --in "$TMP/uw3.ds" --metric bandwidth
+expect 0 "generate with faults" -- \
+  generate --dataset UW3 --scale 0.01 --faults 0.2 --fault-seed 7 \
+  --out "$TMP/faulted.ds"
+expect 0 "analyze faulted with coverage" -- \
+  analyze --in "$TMP/faulted.ds" --metric rtt --min-samples 2 --coverage
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "$failures case(s) failed" >&2
+  exit 1
+fi
+echo "all CLI error-path cases passed"

@@ -142,6 +142,27 @@ TEST(ThreadPool, LowestChunkExceptionWins) {
   }
 }
 
+TEST(ThreadPool, MapChunksPropagatesExceptions) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool{threads};
+    EXPECT_THROW(
+        pool.map_chunks<int>(100, 10,
+                             [](std::size_t begin, std::size_t, std::size_t)
+                                 -> std::vector<int> {
+                               if (begin == 30) throw std::runtime_error{"boom"};
+                               return {static_cast<int>(begin)};
+                             }),
+        std::runtime_error);
+    // The pool survives and the next sweep merges cleanly.
+    const auto out = pool.map_chunks<int>(
+        30, 10,
+        [](std::size_t begin, std::size_t, std::size_t) -> std::vector<int> {
+          return {static_cast<int>(begin)};
+        });
+    EXPECT_EQ(out, (std::vector<int>{0, 10, 20}));
+  }
+}
+
 TEST(ThreadPool, PoolIsReusableAfterException) {
   ThreadPool pool{4};
   EXPECT_THROW(pool.parallel_for(10, 1,

@@ -1,24 +1,39 @@
 // pathsel command-line tool.
 //
 //   pathsel_cli generate --dataset UW3 [--scale S] [--seed N] --out FILE
-//       Regenerate one of the paper's datasets and save it.
+//                        [--faults F] [--fault-seed N]
+//       Regenerate one of the paper's datasets and save it.  --faults runs
+//       the campaign under a deterministic fault schedule of the given
+//       intensity (0..1); 0 reproduces the historical bytes exactly.
 //   pathsel_cli info --in FILE
 //       Print a dataset's characteristics (its Table 1 row).
 //   pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth
-//                       [--min-samples N] [--one-hop] [--csv] [--threads N]
+//                       [--min-samples N] [--one-hop] [--csv] [--coverage]
+//                       [--threads N]
 //       Run the alternate-path analysis on a saved dataset.  --threads
 //       defaults to the hardware thread count (or $PATHSEL_THREADS); the
-//       results are bit-identical for every value.
+//       results are bit-identical for every value.  --coverage appends a
+//       graceful-degradation summary of how much of the mesh backed the
+//       results.
+//
+// Exit codes: 0 success; 1 data error (dataset cannot support the request);
+// 2 usage error (unknown command/flag, missing or malformed value);
+// 3 input file unreadable; 4 dataset fails to parse.
+#include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/alternate.h"
 #include "core/bandwidth.h"
 #include "core/confidence.h"
+#include "core/coverage.h"
 #include "core/figures.h"
 #include "core/path_table.h"
 #include "meas/catalog.h"
@@ -29,124 +44,272 @@ namespace {
 
 using namespace pathsel;
 
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitDataError = 1,
+  kExitUsage = 2,
+  kExitUnreadable = 3,
+  kExitParseError = 4,
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  pathsel_cli generate --dataset NAME [--scale S] [--seed N] --out FILE\n"
+               "                       [--faults F] [--fault-seed N]\n"
                "  pathsel_cli info --in FILE\n"
                "  pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth\n"
                "                      [--min-samples N] [--one-hop] [--csv]\n"
-               "                      [--threads N]\n"
+               "                      [--coverage] [--threads N]\n"
                "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
-               "--threads defaults to the hardware thread count\n");
-  return 2;
+               "--threads defaults to the hardware thread count\n"
+               "exit codes: 0 ok, 1 data error, 2 usage, 3 unreadable file,\n"
+               "            4 parse error\n");
+  return kExitUsage;
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
-  std::map<std::string, std::string> flags;
+using FlagMap = std::map<std::string, std::string>;
+
+// Strict flag parser: every token must be a known flag for the command, and
+// value flags must be followed by a value.  Returns false (after a one-line
+// diagnostic) on any violation.
+bool parse_flags(int argc, char** argv, int from,
+                 const std::set<std::string>& value_flags,
+                 const std::set<std::string>& bool_flags, FlagMap& out) {
   for (int i = from; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      return false;
+    }
     key = key.substr(2);
-    if (key == "one-hop" || key == "csv") {
-      flags[key] = "1";
-    } else if (i + 1 < argc) {
-      flags[key] = argv[++i];
+    if (bool_flags.contains(key)) {
+      out[key] = "1";
+    } else if (value_flags.contains(key)) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--%s needs a value\n", key.c_str());
+        return false;
+      }
+      out[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return false;
     }
   }
-  return flags;
+  return true;
 }
 
-int cmd_generate(const std::map<std::string, std::string>& flags) {
+// Strict numeric flag accessors: the whole value must parse and fall inside
+// the given range; `out` keeps its default when the flag is absent.
+bool flag_i64(const FlagMap& flags, const char* key, std::int64_t lo,
+              std::int64_t hi, std::int64_t& out) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' || v < lo ||
+      v > hi) {
+    std::fprintf(stderr, "invalid value for --%s: %s\n", key,
+                 it->second.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool flag_u64(const FlagMap& flags, const char* key, std::uint64_t& out) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "invalid value for --%s: %s\n", key,
+                 it->second.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool flag_double(const FlagMap& flags, const char* key, double lo, double hi,
+                 double& out) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno == ERANGE || end == it->second.c_str() || *end != '\0' ||
+      !(v >= lo) || !(v <= hi)) {
+    std::fprintf(stderr, "invalid value for --%s: %s\n", key,
+                 it->second.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+int cmd_generate(const FlagMap& flags) {
   const auto dataset = flags.find("dataset");
   const auto out = flags.find("out");
-  if (dataset == flags.end() || out == flags.end()) return usage();
+  if (dataset == flags.end() || out == flags.end()) {
+    std::fprintf(stderr, "generate needs --dataset and --out\n");
+    return kExitUsage;
+  }
+  static const std::set<std::string> kNames{"D2",  "D2-NA", "N2",    "N2-NA",
+                                            "UW1", "UW3",   "UW4-A", "UW4-B"};
+  if (!kNames.contains(dataset->second)) {
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset->second.c_str());
+    return kExitUsage;
+  }
 
   meas::CatalogConfig cfg;
-  if (const auto it = flags.find("scale"); it != flags.end()) {
-    cfg.scale = std::atof(it->second.c_str());
+  double scale = 1.0;
+  if (!flag_double(flags, "scale", 1e-6, 1.0, scale)) return kExitUsage;
+  cfg.scale = scale;
+  if (!flag_u64(flags, "seed", cfg.seed)) return kExitUsage;
+  if (!flag_double(flags, "faults", 0.0, 1.0, cfg.fault_intensity)) {
+    return kExitUsage;
   }
-  if (const auto it = flags.find("seed"); it != flags.end()) {
-    cfg.seed = static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
-  }
+  if (!flag_u64(flags, "fault-seed", cfg.fault_seed)) return kExitUsage;
+
   meas::Catalog catalog{cfg};
   const meas::Dataset& ds = catalog.by_name(dataset->second);
 
   std::ofstream os{out->second};
   if (!os) {
     std::fprintf(stderr, "cannot open %s for writing\n", out->second.c_str());
-    return 1;
+    return kExitUnreadable;
   }
   meas::write_dataset(os, ds);
   std::printf("wrote %s: %zu hosts, %zu measurements (%zu completed)\n",
               out->second.c_str(), ds.hosts.size(), ds.measurements.size(),
               ds.completed_count());
-  return 0;
+  return kExitOk;
 }
 
-std::optional<meas::Dataset> load(const std::map<std::string, std::string>& flags) {
+// Loads --in into `ds`; nonzero return is the process exit code.
+int load(const FlagMap& flags, meas::Dataset& ds) {
   const auto in = flags.find("in");
-  if (in == flags.end()) return std::nullopt;
+  if (in == flags.end()) {
+    std::fprintf(stderr, "missing --in FILE\n");
+    return kExitUsage;
+  }
   std::ifstream is{in->second};
   if (!is) {
     std::fprintf(stderr, "cannot open %s\n", in->second.c_str());
-    return std::nullopt;
+    return kExitUnreadable;
   }
   std::string error;
-  auto ds = meas::read_dataset(is, &error);
-  if (!ds.has_value()) {
-    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+  auto parsed = meas::read_dataset(is, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "parse error in %s: %s\n", in->second.c_str(),
+                 error.c_str());
+    return kExitParseError;
   }
-  return ds;
+  ds = std::move(*parsed);
+  return kExitOk;
 }
 
-int cmd_info(const std::map<std::string, std::string>& flags) {
-  const auto ds = load(flags);
-  if (!ds.has_value()) return 1;
-  Table table{"dataset " + ds->name};
+int cmd_info(const FlagMap& flags) {
+  meas::Dataset ds;
+  if (const int rc = load(flags, ds); rc != kExitOk) return rc;
+  Table table{"dataset " + ds.name};
   table.set_header({"field", "value"});
-  table.add_row({"kind", ds->kind == meas::MeasurementKind::kTraceroute
+  table.add_row({"kind", ds.kind == meas::MeasurementKind::kTraceroute
                              ? "traceroute"
                              : "tcp transfers"});
-  table.add_row({"duration", Table::fmt(ds->duration.total_days(), 1) + " days"});
-  table.add_row({"hosts", std::to_string(ds->hosts.size())});
-  table.add_row({"measurements", std::to_string(ds->measurements.size())});
-  table.add_row({"completed", std::to_string(ds->completed_count())});
+  table.add_row({"duration", Table::fmt(ds.duration.total_days(), 1) + " days"});
+  table.add_row({"hosts", std::to_string(ds.hosts.size())});
+  table.add_row({"measurements", std::to_string(ds.measurements.size())});
+  table.add_row({"completed", std::to_string(ds.completed_count())});
   table.add_row({"paths covered",
-                 std::to_string(ds->covered_paths()) + " / " +
-                     std::to_string(ds->potential_paths())});
-  table.add_row({"episodes", std::to_string(ds->episode_count)});
+                 std::to_string(ds.covered_paths()) + " / " +
+                     std::to_string(ds.potential_paths())});
+  table.add_row({"episodes", std::to_string(ds.episode_count)});
+  // Fault-aware datasets carry failure causes; legacy ones add no rows here.
+  std::array<std::size_t, meas::kFailureReasonCount> failures{};
+  bool any_reason = false;
+  for (const auto& m : ds.measurements) {
+    if (m.completed || m.failure == meas::FailureReason::kNone) continue;
+    ++failures[static_cast<std::size_t>(m.failure)];
+    any_reason = true;
+  }
+  if (any_reason) {
+    for (std::size_t r = 1; r < meas::kFailureReasonCount; ++r) {
+      if (failures[r] == 0) continue;
+      table.add_row(
+          {std::string{"failed: "} +
+               meas::to_string(static_cast<meas::FailureReason>(r)),
+           std::to_string(failures[r])});
+    }
+  }
   table.print(std::cout);
-  return 0;
+  return kExitOk;
 }
 
-int cmd_analyze(const std::map<std::string, std::string>& flags) {
-  const auto ds = load(flags);
-  if (!ds.has_value()) return 1;
+void print_coverage(const core::CoverageSummary& c) {
+  Table table{"coverage"};
+  table.set_header({"field", "value"});
+  table.add_row({"hosts", std::to_string(c.hosts)});
+  table.add_row({"pairs covered", std::to_string(c.covered_pairs) + " / " +
+                                      std::to_string(c.potential_pairs) + " (" +
+                                      Table::fmt(100.0 * c.coverage(), 1) +
+                                      "%)"});
+  table.add_row({"pairs attempted", std::to_string(c.attempted_pairs)});
+  table.add_row({"usable paths", std::to_string(c.usable_edges)});
+  table.add_row({"under-sampled paths", std::to_string(c.under_sampled_edges)});
+  table.add_row({"disconnected pairs", std::to_string(c.disconnected_edges)});
+  table.add_row({"attempts", std::to_string(c.attempts)});
+  table.add_row({"completed", std::to_string(c.completed)});
+  for (std::size_t r = 1; r < meas::kFailureReasonCount; ++r) {
+    if (c.failures_by_reason[r] == 0) continue;
+    table.add_row({std::string{"failed: "} +
+                       meas::to_string(static_cast<meas::FailureReason>(r)),
+                   std::to_string(c.failures_by_reason[r])});
+  }
+  table.print(std::cout);
+}
+
+int cmd_analyze(const FlagMap& flags) {
+  // Validate every flag before touching the input file, so usage errors are
+  // reported as such even when the file is also bad.
   const auto metric_it = flags.find("metric");
   const std::string metric = metric_it == flags.end() ? "rtt" : metric_it->second;
+  if (metric != "rtt" && metric != "loss" && metric != "bandwidth") {
+    std::fprintf(stderr, "unknown metric: %s\n", metric.c_str());
+    return kExitUsage;
+  }
 
   // 0 resolves to default_thread_count() (PATHSEL_THREADS env override, else
   // hardware_concurrency); --threads 1 forces the serial path.
-  int threads = 0;
-  if (const auto it = flags.find("threads"); it != flags.end()) {
-    threads = std::atoi(it->second.c_str());
-  }
+  std::int64_t threads = 0;
+  if (!flag_i64(flags, "threads", 0, 4096, threads)) return kExitUsage;
 
   core::BuildOptions build;
   build.min_samples = 30;
-  build.threads = threads;
-  if (const auto it = flags.find("min-samples"); it != flags.end()) {
-    build.min_samples = std::atoi(it->second.c_str());
+  std::int64_t min_samples = build.min_samples;
+  if (!flag_i64(flags, "min-samples", 1, 1'000'000, min_samples)) {
+    return kExitUsage;
   }
-  const auto table = core::PathTable::build(*ds, build);
-  std::printf("path graph: %zu measured paths over %zu hosts\n",
-              table.edges().size(), table.hosts().size());
+  build.min_samples = static_cast<int>(min_samples);
+  build.threads = static_cast<int>(threads);
+
+  meas::Dataset ds;
+  if (const int rc = load(flags, ds); rc != kExitOk) return rc;
 
   if (metric == "bandwidth") {
-    if (ds->kind != meas::MeasurementKind::kTcpTransfer) {
+    if (ds.kind != meas::MeasurementKind::kTcpTransfer) {
       std::fprintf(stderr, "bandwidth analysis needs a tcp dataset\n");
-      return 1;
+      return kExitDataError;
+    }
+    const auto table = core::PathTable::build(ds, build);
+    std::printf("path graph: %zu measured paths over %zu hosts\n",
+                table.edges().size(), table.hosts().size());
+    if (table.edges().empty()) {
+      std::fprintf(stderr, "no path met the min_samples filter\n");
+      return kExitDataError;
     }
     for (const auto& [label, comp] :
          {std::pair{"optimistic", core::LossComposition::kOptimistic},
@@ -156,23 +319,29 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
       std::printf("%s: %zu pairs, %.0f%% with a better one-hop alternate\n",
                   label, results.size(), 100.0 * cdf.fraction_above(0.0));
     }
-    return 0;
+    if (flags.contains("coverage")) {
+      print_coverage(core::summarize_coverage(ds, table));
+    }
+    return kExitOk;
   }
 
   core::AnalyzerOptions analyze;
-  if (metric == "rtt") {
-    analyze.metric = core::Metric::kRtt;
-  } else if (metric == "loss") {
-    analyze.metric = core::Metric::kLoss;
-  } else {
-    return usage();
-  }
+  analyze.metric = metric == "rtt" ? core::Metric::kRtt : core::Metric::kLoss;
   if (flags.contains("one-hop")) analyze.max_intermediate_hosts = 1;
-  analyze.threads = threads;
+  analyze.threads = static_cast<int>(threads);
 
-  const auto results = core::analyze_alternate_paths(table, analyze);
-  const auto cdf = core::improvement_cdf(results, threads);
-  const auto tally = core::classify_significance(results, 0.95, threads);
+  const auto result = core::analyze_with_coverage(ds, build, analyze);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return kExitDataError;
+  }
+  const core::DegradedAnalysis& analysis = result.value();
+  std::printf("path graph: %zu measured paths over %zu hosts\n",
+              analysis.coverage.usable_edges, analysis.coverage.hosts);
+  const auto& results = analysis.results;
+  const auto cdf = core::improvement_cdf(results, static_cast<int>(threads));
+  const auto tally =
+      core::classify_significance(results, 0.95, static_cast<int>(threads));
   std::printf("pairs analyzed: %zu\n", results.size());
   std::printf("better alternate exists: %.0f%%\n",
               100.0 * cdf.fraction_above(0.0));
@@ -180,6 +349,7 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
               "worse %.0f%%\n",
               100.0 * tally.better, 100.0 * tally.indeterminate,
               100.0 * tally.worse);
+  if (flags.contains("coverage")) print_coverage(analysis.coverage);
   if (flags.contains("csv")) {
     const auto series = cdf.to_series("improvement");
     std::printf("improvement,fraction\n");
@@ -187,7 +357,7 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
       std::printf("%.6g,%.6g\n", series.x[i], series.y[i]);
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -195,9 +365,26 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
-  if (command == "generate") return cmd_generate(flags);
-  if (command == "info") return cmd_info(flags);
-  if (command == "analyze") return cmd_analyze(flags);
+  FlagMap flags;
+  if (command == "generate") {
+    if (!parse_flags(argc, argv, 2,
+                     {"dataset", "scale", "seed", "out", "faults", "fault-seed"},
+                     {}, flags)) {
+      return kExitUsage;
+    }
+    return cmd_generate(flags);
+  }
+  if (command == "info") {
+    if (!parse_flags(argc, argv, 2, {"in"}, {}, flags)) return kExitUsage;
+    return cmd_info(flags);
+  }
+  if (command == "analyze") {
+    if (!parse_flags(argc, argv, 2, {"in", "metric", "min-samples", "threads"},
+                     {"one-hop", "csv", "coverage"}, flags)) {
+      return kExitUsage;
+    }
+    return cmd_analyze(flags);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return usage();
 }
