@@ -62,13 +62,14 @@ void run() {
                        ")",
                    Table::pct(report.detour_fraction())});
   }
-  table.print(std::cout);
+  bench::emit(table);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "ablation_overlay")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

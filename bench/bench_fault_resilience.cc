@@ -83,15 +83,16 @@ void run() {
              f[static_cast<std::size_t>(meas::FailureReason::kStuckProbe)])});
   }
 
-  coverage.print(std::cout);
-  failures.print(std::cout);
-  degradation.print(std::cout);
+  bench::emit(coverage);
+  bench::emit(failures);
+  bench::emit(degradation);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fault_resilience")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

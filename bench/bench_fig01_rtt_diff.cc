@@ -29,14 +29,15 @@ void run() {
                      Table::pct(cdf.fraction_above(0.0)),
                      Table::pct(cdf.fraction_above(20.0))});
   }
-  print_series(std::cout, "Figure 1: RTT improvement CDF (ms)", series);
-  summary.print(std::cout);
+  bench::emit_series("Figure 1: RTT improvement CDF (ms)", series);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig01_rtt_diff")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -28,14 +28,15 @@ void run() {
     summary.add_row({name, Table::pct(cdf.fraction_above(1.0)),
                      Table::pct(cdf.fraction_above(1.5))});
   }
-  print_series(std::cout, "Figure 2: relative RTT CDF", series);
-  summary.print(std::cout);
+  bench::emit_series("Figure 2: relative RTT CDF", series);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig02_rtt_ratio")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

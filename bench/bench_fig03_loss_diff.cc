@@ -38,14 +38,15 @@ void run() {
                      Table::pct(static_cast<double>(lossless) /
                                 static_cast<double>(results.size()))});
   }
-  print_series(std::cout, "Figure 3: loss-rate improvement CDF", series);
-  summary.print(std::cout);
+  bench::emit_series("Figure 3: loss-rate improvement CDF", series);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig03_loss_diff")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

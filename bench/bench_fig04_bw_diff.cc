@@ -34,14 +34,15 @@ void run() {
                        Table::pct(cdf.fraction_above(0.0))});
     }
   }
-  print_series(std::cout, "Figure 4: bandwidth improvement CDF (kB/s)", series);
-  summary.print(std::cout);
+  bench::emit_series("Figure 4: bandwidth improvement CDF (kB/s)", series);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig04_bw_diff")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

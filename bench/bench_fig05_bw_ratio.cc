@@ -33,14 +33,15 @@ void run() {
                        Table::pct(cdf.fraction_above(3.0))});
     }
   }
-  print_series(std::cout, "Figure 5: relative bandwidth CDF", series);
-  summary.print(std::cout);
+  bench::emit_series("Figure 5: relative bandwidth CDF", series);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig05_bw_ratio")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

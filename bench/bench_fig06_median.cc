@@ -32,7 +32,7 @@ void run() {
   stats::EmpiricalCdf median_cdf;
   for (const auto& r : medians) median_cdf.add(r.improvement());
 
-  print_series(std::cout, "Figure 6: mean vs median improvement CDF (ms)",
+  bench::emit_series("Figure 6: mean vs median improvement CDF (ms)",
                {bench::cdf_series(mean_cdf, "mean (one-hop)"),
                 bench::cdf_series(median_cdf, "median (one-hop)")});
 
@@ -44,19 +44,20 @@ void run() {
   summary.add_row({"median", std::to_string(medians.size()),
                    Table::pct(median_cdf.fraction_above(0.0)),
                    Table::fmt(median_cdf.value_at_fraction(0.5), 1) + " ms"});
-  summary.print(std::cout);
+  bench::emit(summary);
 
   const auto ks = stats::ks_two_sample(mean_cdf.sorted_values(),
                                        median_cdf.sorted_values());
-  std::printf("KS distance between the two CDFs: %.3f (p = %.3f)%s\n",
-              ks.statistic, ks.p_value,
-              ks.p_value > 0.05 ? " -- statistically indistinguishable" : "");
+  bench::notef("KS distance between the two CDFs: %.3f (p = %.3f)%s\n",
+               ks.statistic, ks.p_value,
+               ks.p_value > 0.05 ? " -- statistically indistinguishable" : "");
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig06_median")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -24,11 +24,18 @@ void run() {
 
   std::printf("# Figure 8: difference,fraction,ci_lo,ci_hi (every 8th point)\n");
   std::printf("difference,fraction,ci_lo,ci_hi\n");
+  std::string csv = "difference,fraction,ci_lo,ci_hi";
   for (std::size_t i = 0; i < points.size(); i += 8) {
     const auto& p = points[i];
-    std::printf("%.5f,%.4f,%.5f,%.5f\n", p.difference, p.fraction,
-                p.difference - p.half_width, p.difference + p.half_width);
+    char line[96];
+    std::snprintf(line, sizeof line, "%.5f,%.4f,%.5f,%.5f", p.difference,
+                  p.fraction, p.difference - p.half_width,
+                  p.difference + p.half_width);
+    std::printf("%s\n", line);
+    csv += '\n';
+    csv += line;
   }
+  bench::note(csv);
 
   double mean_hw = 0.0;
   for (const auto& p : points) mean_hw += p.half_width;
@@ -36,13 +43,14 @@ void run() {
   Table summary{"Figure 8 summary"};
   summary.set_header({"pairs", "mean CI half-width (loss rate)"});
   summary.add_row({std::to_string(points.size()), Table::fmt(mean_hw, 4)});
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig08_loss_ci")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -29,15 +29,16 @@ void run() {
                      Table::pct(cdf.fraction_above(0.0)),
                      Table::fmt(cdf.value_at_fraction(0.5), 1)});
   }
-  print_series(std::cout, "Figure 9: RTT improvement CDF by time of day",
+  bench::emit_series("Figure 9: RTT improvement CDF by time of day",
                series);
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig09_tod_rtt")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -30,15 +30,16 @@ void run() {
                      Table::pct(cdf.fraction_above(0.0)),
                      Table::pct(cdf.fraction_above(0.02))});
   }
-  print_series(std::cout, "Figure 10: loss improvement CDF by time of day",
+  bench::emit_series("Figure 10: loss improvement CDF by time of day",
                series);
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig10_tod_loss")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -26,7 +26,7 @@ void run() {
 
   const auto episodes = core::analyze_episodes(catalog.uw4a(), {});
 
-  print_series(std::cout, "Figure 11: averaging-timescale comparison",
+  bench::emit_series("Figure 11: averaging-timescale comparison",
                {bench::cdf_series(uw4b_cdf, "UW4-B"),
                 bench::cdf_series(episodes.pair_averaged, "pair-averaged UW4-A"),
                 bench::cdf_series(episodes.unaveraged, "unaveraged UW4-A")});
@@ -42,14 +42,15 @@ void run() {
   row("UW4-B (time-averaged)", uw4b_cdf);
   row("pair-averaged UW4-A", episodes.pair_averaged);
   row("unaveraged UW4-A", episodes.unaveraged);
-  summary.print(std::cout);
-  std::printf("episodes analyzed: %zu\n", episodes.episodes_analyzed);
+  bench::emit(summary);
+  bench::notef("episodes analyzed: %zu\n", episodes.episodes_analyzed);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig11_episodes")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

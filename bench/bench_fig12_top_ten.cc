@@ -23,7 +23,7 @@ void run() {
 
   const auto full_cdf = core::improvement_cdf(result.full_results);
   const auto reduced_cdf = core::improvement_cdf(result.reduced_results);
-  print_series(std::cout, "Figure 12: top-ten removal",
+  bench::emit_series("Figure 12: top-ten removal",
                {bench::cdf_series(full_cdf, "all UW3 hosts"),
                 bench::cdf_series(reduced_cdf, "without 'top ten'")});
 
@@ -36,21 +36,26 @@ void run() {
                    std::to_string(result.reduced_results.size()),
                    Table::pct(reduced_cdf.fraction_above(0.0)),
                    Table::fmt(reduced_cdf.value_at_fraction(0.5), 1)});
-  summary.print(std::cout);
+  bench::emit(summary);
 
   const auto ks = stats::ks_two_sample(full_cdf.sorted_values(),
                                        reduced_cdf.sorted_values());
-  std::printf("KS distance between full and reduced CDFs: %.3f (p = %.3g)\n",
-              ks.statistic, ks.p_value);
-  std::printf("removed hosts (greedy order): ");
-  for (const auto h : result.removed) std::printf("%d ", h.value());
-  std::printf("\n");
+  bench::notef("KS distance between full and reduced CDFs: %.3f (p = %.3g)\n",
+               ks.statistic, ks.p_value);
+  std::string removed = "removed hosts (greedy order):";
+  for (const auto h : result.removed) {
+    removed += ' ';
+    removed += std::to_string(h.value());
+  }
+  std::printf("%s\n", removed.c_str());
+  bench::note(removed);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig12_top_ten")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -23,7 +23,7 @@ void run() {
 
   stats::EmpiricalCdf cdf;
   for (const auto& c : contributions) cdf.add(c.normalized);
-  print_series(std::cout, "Figure 13: normalized improvement contribution",
+  bench::emit_series("Figure 13: normalized improvement contribution",
                {bench::cdf_series(cdf, "UW3 hosts", 0.0, 1.0)});
 
   Table summary{"Figure 13 summary"};
@@ -31,13 +31,14 @@ void run() {
   summary.add_row({std::to_string(contributions.size()),
                    Table::fmt(cdf.value_at_fraction(1.0), 0),
                    Table::fmt(cdf.value_at_fraction(0.9), 0), "100"});
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig13_contribution")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -22,11 +22,16 @@ void run() {
 
   std::printf("# Figure 14: as_id,default_count,alternate_count\n");
   std::printf("as,default,alternate\n");
+  std::string csv = "as,default,alternate";
   std::size_t above = 0;
   std::size_t below = 0;
   for (const auto& a : apps) {
-    std::printf("%d,%zu,%zu\n", a.as.value(), a.default_count,
-                a.alternate_count);
+    char line[96];
+    std::snprintf(line, sizeof line, "%d,%zu,%zu", a.as.value(),
+                  a.default_count, a.alternate_count);
+    std::printf("%s\n", line);
+    csv += '\n';
+    csv += line;
     // Count strong outliers: >4x away from the diagonal with volume.
     if (a.alternate_count > 4 * std::max<std::size_t>(a.default_count, 1)) {
       ++above;
@@ -35,17 +40,19 @@ void run() {
       ++below;
     }
   }
+  bench::note(csv);
   Table summary{"Figure 14 summary"};
   summary.set_header({"ASes", ">4x alternate-heavy", ">4x default-heavy"});
   summary.add_row({std::to_string(apps.size()), std::to_string(above),
                    std::to_string(below)});
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig14_as_scatter")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

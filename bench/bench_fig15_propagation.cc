@@ -23,7 +23,7 @@ void run() {
 
   const auto rtt_cdf = core::improvement_cdf(analysis.rtt_results);
   const auto prop_cdf = core::improvement_cdf(analysis.propagation_results);
-  print_series(std::cout, "Figure 15: propagation vs mean RTT (ms)",
+  bench::emit_series("Figure 15: propagation vs mean RTT (ms)",
                {bench::cdf_series(prop_cdf, "propagation delay"),
                 bench::cdf_series(rtt_cdf, "mean round-trip time")});
 
@@ -33,13 +33,14 @@ void run() {
                    Table::fmt(prop_cdf.value_at_fraction(0.95), 1)});
   summary.add_row({"mean RTT", Table::pct(rtt_cdf.fraction_above(0.0)),
                    Table::fmt(rtt_cdf.value_at_fraction(0.95), 1)});
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig15_propagation")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -24,11 +24,18 @@ void run() {
 
   std::printf("# Figure 16: total_diff,prop_diff,group\n");
   std::printf("total,prop,group\n");
+  std::string csv = "total,prop,group";
   for (std::size_t i = 0; i < analysis.scatter.size();
        i += std::max<std::size_t>(1, analysis.scatter.size() / 200)) {
     const auto& p = analysis.scatter[i];
-    std::printf("%.2f,%.2f,%d\n", p.total_diff, p.prop_diff, p.group);
+    char line[64];
+    std::snprintf(line, sizeof line, "%.2f,%.2f,%d", p.total_diff, p.prop_diff,
+                  p.group);
+    std::printf("%s\n", line);
+    csv += '\n';
+    csv += line;
   }
+  bench::note(csv);
 
   Table summary{"Figure 16 group counts"};
   summary.set_header({"group", "meaning", "pairs"});
@@ -41,13 +48,14 @@ void run() {
     summary.add_row({std::to_string(g + 1), meaning[g],
                      std::to_string(analysis.group_counts[static_cast<std::size_t>(g)])});
   }
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "fig16_prop_scatter")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -1,0 +1,87 @@
+// --json support for the google-benchmark micro benches.
+//
+// google-benchmark has its own --benchmark_* flag family and JSON format;
+// to keep every bench_* binary on the one schema in util/bench_report.h,
+// these binaries replace BENCHMARK_MAIN() with PATHSEL_GBENCH_MAIN(name):
+// a main() that strips `--json <path>` before benchmark::Initialize sees it,
+// runs the registered benchmarks through a reporter that both prints the
+// normal console output and records one series per benchmark (x = repetition
+// index, y = real time in ms), and writes the standard report on exit.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace pathsel::bench {
+
+/// ConsoleReporter that additionally records every run into the report.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Series s;
+      s.name = run.benchmark_name();
+      s.x.push_back(static_cast<double>(run.iterations));
+      s.y.push_back(run.GetAdjustedRealTime());
+      rows_.push_back(std::move(s));
+    }
+  }
+
+  void write_series() {
+    if (!rows_.empty()) emit_recorded_series("microbenchmark runs", rows_);
+    rows_.clear();
+  }
+
+ private:
+  static void emit_recorded_series(std::string_view title,
+                                   const std::vector<Series>& series) {
+    // Console output already happened via ConsoleReporter; only record.
+    json_state().report.add_series(title, series);
+  }
+
+  std::vector<Series> rows_;
+};
+
+/// Shared main body: returns the process exit code.
+inline int gbench_main(int argc, char** argv, const char* bench_id) {
+  // Split off --json before google-benchmark validates the remaining flags.
+  std::vector<char*> passthrough;
+  std::vector<char*> ours;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      ours.push_back(argv[i]);
+      if (arg == "--json" && i + 1 < argc) ours.push_back(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  ours.insert(ours.begin(), argv[0]);
+  int ours_argc = static_cast<int>(ours.size());
+  if (!init(ours_argc, ours.data(), bench_id)) return 2;
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 2;
+  }
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_series();
+  benchmark::Shutdown();
+  return finish();
+}
+
+}  // namespace pathsel::bench
+
+#define PATHSEL_GBENCH_MAIN(bench_id)                     \
+  int main(int argc, char** argv) {                       \
+    return pathsel::bench::gbench_main(argc, argv, bench_id); \
+  }

@@ -1,6 +1,8 @@
 // Microbenchmarks of the analysis layer (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_report.h"
+
 #include "core/alternate.h"
 #include "core/median.h"
 #include "core/path_table.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_StudentTQuantile);
 }  // namespace
 }  // namespace pathsel
 
-BENCHMARK_MAIN();
+PATHSEL_GBENCH_MAIN("micro_core")

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
+
 #include "core/alternate.h"
 #include "core/path_table.h"
 #include "meas/dataset.h"
@@ -78,7 +80,9 @@ bool same_results(const std::vector<core::PairResult>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "micro_parallel")) return 2;
+  namespace bench = pathsel::bench;
   constexpr int kHosts = 96;
   constexpr int kInvocations = 5;
   constexpr int kReps = 3;
@@ -107,8 +111,8 @@ int main() {
     (void)core::PathTable::build(ds, build_serial);
   });
 
-  std::printf("threads,sweep_ms,sweep_speedup,build_ms,build_speedup,identical\n");
-  std::printf("1,%.2f,1.00,%.2f,1.00,yes\n", serial_sweep_ms, serial_build_ms);
+  bench::notef("threads,sweep_ms,sweep_speedup,build_ms,build_speedup,identical\n");
+  bench::notef("1,%.2f,1.00,%.2f,1.00,yes\n", serial_sweep_ms, serial_build_ms);
   for (const int threads : {2, 4, 8}) {
     core::AnalyzerOptions opt;
     opt.threads = threads;
@@ -123,12 +127,12 @@ int main() {
     const double build_ms = best_of_ms(kReps, [&] {
       (void)core::PathTable::build(ds, build);
     });
-    std::printf("%d,%.2f,%.2f,%.2f,%.2f,%s\n", threads, sweep_ms,
-                serial_sweep_ms / sweep_ms, build_ms,
-                serial_build_ms / build_ms, identical ? "yes" : "NO");
+    bench::notef("%d,%.2f,%.2f,%.2f,%.2f,%s\n", threads, sweep_ms,
+                 serial_sweep_ms / sweep_ms, build_ms,
+                 serial_build_ms / build_ms, identical ? "yes" : "NO");
   }
-  std::printf("\nsummary: sweep over %zu pairs; speedup scales with available "
-              "cores, output bit-identical at every thread count\n",
-              serial_results.size());
-  return 0;
+  bench::notef("\nsummary: sweep over %zu pairs; speedup scales with available "
+               "cores, output bit-identical at every thread count\n",
+               serial_results.size());
+  return pathsel::bench::finish();
 }

@@ -1,6 +1,8 @@
 // Microbenchmarks of the topology/routing/simulation substrate.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_report.h"
+
 #include "meas/collector.h"
 #include "route/bgp.h"
 #include "route/igp.h"
@@ -112,4 +114,4 @@ BENCHMARK(BM_CollectCampaign);
 }  // namespace
 }  // namespace pathsel
 
-BENCHMARK_MAIN();
+PATHSEL_GBENCH_MAIN("micro_sim")

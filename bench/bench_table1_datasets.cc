@@ -36,13 +36,14 @@ void run() {
                               static_cast<double>(ds.potential_paths())),
                    row.paper_meas, row.paper_cover});
   }
-  table.print(std::cout);
+  bench::emit(table);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "table1_datasets")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -26,13 +26,14 @@ void run() {
     table.add_row({name, Table::pct(tally.better),
                    Table::pct(tally.indeterminate), Table::pct(tally.worse)});
   }
-  table.print(std::cout);
+  bench::emit(table);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "table2_rtt_ttest")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -30,13 +30,14 @@ void run() {
                    Table::pct(tally.indeterminate), Table::pct(tally.zero),
                    Table::pct(tally.worse)});
   }
-  table.print(std::cout);
+  bench::emit(table);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "table3_loss_ttest")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -12,12 +12,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <span>
 #include <string>
 
 #include "meas/catalog.h"
 #include "stats/cdf.h"
+#include "util/bench_report.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace pathsel::bench {
@@ -72,6 +75,88 @@ inline Series decimate(const Series& s, std::size_t max_points = 48) {
 inline Series cdf_series(const stats::EmpiricalCdf& cdf, std::string name,
                          double trim_lo = 0.02, double trim_hi = 0.98) {
   return decimate(cdf.to_series(std::move(name), trim_lo, trim_hi));
+}
+
+// --json plumbing.  Each bench binary is one translation unit, so one
+// function-local BenchReport per process is enough.  emit()/emit_series()
+// print exactly what the pre-JSON benches printed AND record the same result
+// into the report; finish() writes the report only when --json was given.
+
+struct JsonState {
+  BenchReport report{""};
+  std::string path;  // empty: no JSON requested
+};
+
+inline JsonState& json_state() {
+  static JsonState s;
+  return s;
+}
+
+/// Parses bench argv (`--json <path>` or `--json=<path>`); prints usage to
+/// stderr and returns false on anything unrecognized.  Requesting JSON also
+/// enables the metrics registry so the report's "metrics" section is
+/// populated (the registry otherwise follows PATHSEL_METRICS).
+inline bool init(int argc, char** argv, const char* bench_id) {
+  JsonState& s = json_state();
+  s.report = BenchReport{bench_id};
+  s.report.set_scale(bench_scale());
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return false;
+      }
+      s.path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      s.path = arg + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json <path>]\n",
+                   arg, argv[0]);
+      return false;
+    }
+  }
+  if (!s.path.empty()) MetricsRegistry::global().enable();
+  return true;
+}
+
+/// Prints the table to stdout and records it in the JSON report.
+inline void emit(const Table& table) {
+  table.print(std::cout);
+  json_state().report.add_table(table);
+}
+
+/// Prints the series as CSV and records them in the JSON report.
+inline void emit_series(std::string_view title,
+                        const std::vector<Series>& series) {
+  print_series(std::cout, title, series);
+  json_state().report.add_series(title, series);
+}
+
+/// Records a free-form result line in the JSON report (callers print their
+/// own human-readable form).
+inline void note(std::string_view text) { json_state().report.add_note(text); }
+
+/// printf-style convenience: prints the line to stdout and records it.
+template <typename... Args>
+inline void notef(const char* format, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, format, args...);
+  std::fputs(buf, stdout);
+  // Strip one trailing newline for the recorded note.
+  std::string text{buf};
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  note(text);
+}
+
+/// Writes the JSON report if --json was requested; returns the process exit
+/// code.
+inline int finish() {
+  JsonState& s = json_state();
+  if (s.path.empty()) return 0;
+  return s.report.write_file(s.path, MetricsRegistry::global().snapshot())
+             ? 0
+             : 1;
 }
 
 }  // namespace pathsel::bench

@@ -23,7 +23,7 @@ void run() {
   const auto results = core::triangulate_propagation(table);
   const auto cdf = core::triangulation_accuracy_cdf(results);
 
-  print_series(std::cout, "triangulated estimate / measured propagation",
+  bench::emit_series("triangulated estimate / measured propagation",
                {bench::cdf_series(cdf, "UW3 pairs", 0.0, 0.98)});
 
   std::size_t bracketed = 0;
@@ -38,13 +38,14 @@ void run() {
                               static_cast<double>(results.size())),
                    Table::fmt(cdf.value_at_fraction(0.5), 2),
                    Table::fmt(cdf.value_at_fraction(0.9), 2)});
-  summary.print(std::cout);
+  bench::emit(summary);
 }
 
 }  // namespace
 }  // namespace pathsel
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "validation_triangulation")) return 2;
   pathsel::run();
-  return 0;
+  return pathsel::bench::finish();
 }

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace pathsel::core {
@@ -225,31 +226,47 @@ bool analyze_one_pair(const PathTable& table, const Adjacency& adj,
 
 std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
                                                 const AnalyzerOptions& options) {
-  const Adjacency adj = build_adjacency(table);
-  const std::size_t n = table.hosts().size();
-  const std::size_t edge_count = table.edges().size();
+  const std::uint64_t sweep_start = wall_clock_ns();
+  std::vector<PairResult> results;
+  {
+    const ScopedTimer timer{"core.alternate.sweep"};
+    const Adjacency adj = build_adjacency(table);
+    const std::size_t n = table.hosts().size();
+    const std::size_t edge_count = table.edges().size();
 
-  // Chunk size is fixed so chunk boundaries — and therefore the merged
-  // output — do not depend on the thread count.
-  constexpr std::size_t kChunk = 16;
-  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(options.threads));
-  return pool.map_chunks<PairResult>(
-      edge_count, kChunk,
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        SearchScratch scratch;
-        scratch.dist.resize(n);
-        scratch.parent.resize(n);
-        std::vector<PairResult> local;
-        local.reserve(end - begin);
-        for (std::size_t i = begin; i < end; ++i) {
-          PairResult r;
-          if (analyze_one_pair(table, adj, table.edges()[i], options, scratch,
-                               r)) {
-            local.push_back(std::move(r));
+    // Chunk size is fixed so chunk boundaries — and therefore the merged
+    // output — do not depend on the thread count.
+    constexpr std::size_t kChunk = 16;
+    ThreadPool& pool =
+        ThreadPool::shared(resolve_thread_count(options.threads));
+    results = pool.map_chunks<PairResult>(
+        edge_count, kChunk,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          SearchScratch scratch;
+          scratch.dist.resize(n);
+          scratch.parent.resize(n);
+          std::vector<PairResult> local;
+          local.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            PairResult r;
+            if (analyze_one_pair(table, adj, table.edges()[i], options,
+                                 scratch, r)) {
+              local.push_back(std::move(r));
+            }
           }
-        }
-        return local;
-      });
+          return local;
+        });
+  }
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (m.enabled()) {
+    m.count("core.alternate.sweeps");
+    m.count("core.alternate.pairs_analyzed", table.edges().size());
+    m.count("core.alternate.pairs_disconnected",
+            table.edges().size() - results.size());
+    m.observe("core.alternate.sweep_ms",
+              static_cast<double>(wall_clock_ns() - sweep_start) / 1e6);
+  }
+  return results;
 }
 
 }  // namespace pathsel::core

@@ -20,10 +20,11 @@ double mean_improvement(std::span<const PairResult> results) {
 }  // namespace
 
 TopHostsResult remove_top_hosts(const PathTable& table, Metric metric,
-                                int count) {
+                                int count, int threads) {
   PATHSEL_EXPECT(count >= 0, "removal count must be non-negative");
   AnalyzerOptions options;
   options.metric = metric;
+  options.threads = threads;
 
   TopHostsResult out;
   out.full_results = analyze_alternate_paths(table, options);

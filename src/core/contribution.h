@@ -24,9 +24,10 @@ struct TopHostsResult {
 };
 
 /// Greedy removal of `count` hosts minimizing the mean improvement of the
-/// remaining dataset.
+/// remaining dataset.  `threads` <= 0 means the default executor count.
 [[nodiscard]] TopHostsResult remove_top_hosts(const PathTable& table,
-                                              Metric metric, int count = 10);
+                                              Metric metric, int count = 10,
+                                              int threads = 0);
 
 struct HostContribution {
   topo::HostId host{};

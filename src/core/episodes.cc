@@ -19,6 +19,7 @@ EpisodeAnalysis analyze_episodes(const meas::Dataset& dataset,
   for (std::int32_t ep = 0; ep < dataset.episode_count; ++ep) {
     BuildOptions build;
     build.min_samples = 1;
+    build.threads = options.threads;
     build.filter = [ep](const meas::Measurement& m) { return m.episode == ep; };
     const PathTable table = PathTable::build(dataset, build);
     if (table.edges().empty()) continue;
@@ -26,6 +27,7 @@ EpisodeAnalysis analyze_episodes(const meas::Dataset& dataset,
     AnalyzerOptions analyze;
     analyze.metric = options.metric;
     analyze.max_intermediate_hosts = options.max_intermediate_hosts;
+    analyze.threads = options.threads;
     const auto results = analyze_alternate_paths(table, analyze);
     if (results.empty()) continue;
     ++out.episodes_analyzed;

@@ -4,6 +4,7 @@
 
 #include "stats/quantile.h"
 #include "util/expect.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace pathsel::core {
@@ -70,6 +71,7 @@ PathEdge accumulate_edge(const meas::Dataset& dataset,
 
 PathTable PathTable::build(const meas::Dataset& dataset,
                            const BuildOptions& options) {
+  const ScopedTimer timer{"core.path_table.build"};
   PathTable table;
   table.hosts_ = dataset.hosts;
 
@@ -115,6 +117,13 @@ PathTable PathTable::build(const meas::Dataset& dataset,
         return local;
       });
   table.reindex();
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (m.enabled()) {
+    m.count("core.path_table.builds");
+    m.count("core.path_table.measurements_replayed",
+            dataset.measurements.size());
+    m.count("core.path_table.edges_built", table.edges_.size());
+  }
   return table;
 }
 

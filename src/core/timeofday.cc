@@ -22,6 +22,7 @@ std::vector<TimeOfDayBin> analyze_by_time_of_day(
   for (const BinDef& bin : kBins) {
     BuildOptions build;
     build.min_samples = options.min_samples;
+    build.threads = options.threads;
     build.filter = [bin](const meas::Measurement& m) {
       if (m.when.is_weekend() != bin.weekend) return false;
       if (bin.weekend) return true;
@@ -32,6 +33,7 @@ std::vector<TimeOfDayBin> analyze_by_time_of_day(
     AnalyzerOptions analyze;
     analyze.metric = options.metric;
     analyze.max_intermediate_hosts = options.max_intermediate_hosts;
+    analyze.threads = options.threads;
     out.push_back(TimeOfDayBin{bin.label, analyze_alternate_paths(table, analyze)});
   }
   return out;

@@ -26,6 +26,8 @@ struct TimeOfDayOptions {
   /// Minimum completed measurements per path within one bin.
   int min_samples = 6;
   int max_intermediate_hosts = 0;
+  /// Executor count for the per-bin build/sweep; <= 0 means the default.
+  int threads = 0;
 };
 
 /// Returns bins in the paper's order: weekend, 0000-0600, 0600-1200,

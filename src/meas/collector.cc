@@ -5,10 +5,35 @@
 #include <optional>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 
 namespace pathsel::meas {
 
 namespace {
+
+// Metric-name suffix per failure reason (to_string() uses spaces).
+const char* failure_metric_suffix(FailureReason reason) noexcept {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kEndpointDown: return "endpoint_down";
+    case FailureReason::kProbeFailure: return "probe_failure";
+    case FailureReason::kBlackhole: return "blackhole";
+    case FailureReason::kNoRoute: return "no_route";
+    case FailureReason::kStuckProbe: return "stuck_probe";
+  }
+  return "unknown";
+}
+
+void record_probe_outcome(FailureReason reason) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (!m.enabled()) return;
+  if (reason == FailureReason::kNone) {
+    m.count("meas.collector.probes_completed");
+  } else {
+    m.count(std::string{"meas.collector.probes_failed."} +
+            failure_metric_suffix(reason));
+  }
+}
 
 class Campaign {
  public:
@@ -88,8 +113,10 @@ class Campaign {
     m.src = src;
     m.dst = dst;
     m.episode = episode;
+    MetricsRegistry::global().count("meas.collector.probes_attempted");
     if (!availability_.is_up(src, t) || !availability_.is_up(dst, t)) {
       m.completed = false;  // unreachable server: attempt recorded, no data
+      record_probe_outcome(FailureReason::kEndpointDown);
       dataset_.measurements.push_back(std::move(m));
       return;
     }
@@ -105,6 +132,8 @@ class Campaign {
       m.tcp_rtt_ms = r.rtt_ms;
       m.tcp_loss_rate = r.loss_rate;
     }
+    record_probe_outcome(m.completed ? FailureReason::kNone
+                                     : FailureReason::kProbeFailure);
     dataset_.measurements.push_back(std::move(m));
   }
 
@@ -160,6 +189,7 @@ class Campaign {
     m.src = src;
     m.dst = dst;
     m.episode = episode;
+    MetricsRegistry::global().count("meas.collector.probes_attempted");
     const FailureReason reason = try_once(m, src, dst, t);
     m.attempts = static_cast<std::uint8_t>(std::min(tried + 1, 255));
 
@@ -169,6 +199,7 @@ class Campaign {
           std::pow(config_.retry.backoff_multiplier, tried);
       const SimTime next = t + Duration::seconds(backoff_s);
       if (next < end_) {
+        MetricsRegistry::global().count("meas.collector.probes_retried");
         queue_.schedule_at(
             next, [this, src, dst, first, episode, tried](SimTime when) {
               attempt(src, dst, first, when, episode, tried + 1);
@@ -178,6 +209,7 @@ class Campaign {
     }
     m.completed = reason == FailureReason::kNone;
     m.failure = reason;
+    record_probe_outcome(reason);
     dataset_.measurements.push_back(std::move(m));
   }
 

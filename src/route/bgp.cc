@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 
 namespace pathsel::route {
 
@@ -49,9 +50,15 @@ BgpTables::BgpTables(const topo::Topology& topology) : topo_{&topology} {
                                       topology.router(l.b).as));
   }
   table_.assign(n * n, RouteEntry{});
-  for (std::size_t d = 0; d < n; ++d) {
-    compute_for_destination(topo::AsId{static_cast<std::int32_t>(d)});
+  {
+    const ScopedTimer timer{"route.bgp.table_build"};
+    for (std::size_t d = 0; d < n; ++d) {
+      compute_for_destination(topo::AsId{static_cast<std::int32_t>(d)});
+    }
   }
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.count("route.bgp.table_builds");
+  m.count("route.bgp.destinations_computed", n);
 }
 
 bool BgpTables::session_up(topo::AsId a, topo::AsId b) const {

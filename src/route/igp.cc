@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 
 namespace pathsel::route {
 
@@ -12,6 +13,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 IgpTables::IgpTables(const topo::Topology& topology) : topo_{&topology} {
+  const ScopedTimer timer{"route.igp.table_build"};
+  MetricsRegistry::global().count("route.igp.table_builds");
   const auto& routers = topology.routers();
   local_.resize(routers.size());
   std::vector<std::size_t> as_size(topology.as_count(), 0);

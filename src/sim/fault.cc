@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace pathsel::sim {
@@ -241,6 +242,8 @@ void FaultInjector::advance_to(SimTime t) {
 }
 
 void FaultInjector::rebuild() {
+  MetricsRegistry::global().count("sim.fault.routing_rebuilds");
+  const ScopedTimer timer{"sim.fault.rebuild"};
   igp_ = std::make_unique<route::IgpTables>(topo_);
   bgp_ = std::make_unique<route::BgpTables>(topo_);
   resolver_ = std::make_unique<route::PathResolver>(topo_, *igp_, *bgp_,

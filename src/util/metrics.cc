@@ -1,0 +1,169 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace pathsel {
+
+namespace {
+
+// Roughly logarithmic millisecond buckets covering a probe RTT (~0.01 ms
+// simulated work) up to a full catalog regeneration (minutes).
+constexpr double kDefaultBoundsMs[] = {
+    0.01, 0.1, 0.5, 1.0,    5.0,    10.0,   50.0,    100.0,
+    500.0, 1000.0, 5000.0, 10000.0, 30000.0, 60000.0, 300000.0,
+};
+
+thread_local ScopedTimer* t_current_timer = nullptr;
+
+}  // namespace
+
+std::uint64_t wall_clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  static const bool init = [] {
+    if (const char* env = std::getenv("PATHSEL_METRICS")) {
+      if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+        registry.enable();
+      }
+    }
+    return true;
+  }();
+  (void)init;
+  return registry;
+}
+
+void MetricsRegistry::count(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, 0).first;
+  }
+  it->second += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string{name}, value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::add_gauge(std::string_view name, double delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string{name}, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              std::span<const double> bounds) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramStat h;
+    const std::span<const double> use =
+        bounds.empty() ? default_latency_bounds_ms() : bounds;
+    h.upper_bounds.assign(use.begin(), use.end());
+    h.counts.assign(h.upper_bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string{name}, std::move(h)).first;
+  }
+  HistogramStat& h = it->second;
+  // lower_bound keeps upper bounds inclusive (value == bound counts in that
+  // bucket), matching the "le" naming in the JSON export.
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(h.upper_bounds.begin(), h.upper_bounds.end(), value) -
+      h.upper_bounds.begin());
+  ++h.counts[bucket];
+  ++h.total;
+}
+
+void MetricsRegistry::record_phase(std::string_view name,
+                                   std::uint64_t wall_ns, std::uint64_t cpu_ns,
+                                   std::uint64_t child_wall_ns) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string{name}, PhaseStat{}).first;
+  }
+  PhaseStat& p = it->second;
+  p.calls += 1;
+  p.wall_ns += wall_ns;
+  p.cpu_ns += cpu_ns;
+  p.child_wall_ns += child_wall_ns;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  out.counters.assign(counters_.begin(), counters_.end());
+  out.gauges.assign(gauges_.begin(), gauges_.end());
+  out.phases.assign(phases_.begin(), phases_.end());
+  out.histograms.assign(histograms_.begin(), histograms_.end());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  counters_.clear();
+  gauges_.clear();
+  phases_.clear();
+  histograms_.clear();
+}
+
+std::span<const double> MetricsRegistry::default_latency_bounds_ms() noexcept {
+  return kDefaultBoundsMs;
+}
+
+ScopedTimer::ScopedTimer(std::string_view phase, MetricsRegistry& registry) {
+  if (!registry.enabled()) return;  // inert: no clocks, no allocation
+  registry_ = &registry;
+  phase_ = phase;
+  parent_ = t_current_timer;
+  t_current_timer = this;
+  start_cpu_ns_ = thread_cpu_ns();
+  start_wall_ns_ = wall_clock_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  const std::uint64_t wall = wall_clock_ns() - start_wall_ns_;
+  const std::uint64_t cpu_now = thread_cpu_ns();
+  const std::uint64_t cpu =
+      cpu_now >= start_cpu_ns_ ? cpu_now - start_cpu_ns_ : 0;
+  registry_->record_phase(phase_, wall, cpu, child_wall_ns_);
+  if (parent_ != nullptr) parent_->child_wall_ns_ += wall;
+  t_current_timer = parent_;
+}
+
+}  // namespace pathsel

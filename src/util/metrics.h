@@ -1,0 +1,151 @@
+// Process-wide observability: counters, gauges, phase timers, histograms.
+//
+// The analysis layer reproduces the paper's headline numbers; this layer
+// records where the cycles go while doing it, so every optimization PR is a
+// measurable delta instead of a guess.  Design constraints, in order:
+//
+//  1. *Passive.*  Metrics never feed back into results: instrumented code
+//     records integers and wall/CPU durations but takes no decisions from
+//     them, so a metrics-on run produces bit-identical analysis output to a
+//     metrics-off run.
+//  2. *Zero overhead when disabled.*  The registry starts disabled; every
+//     recording call checks one relaxed atomic and returns.  No map lookups,
+//     no clock reads, no allocation.  A disabled registry also accumulates
+//     no entries, so enabling late never shows stale names.
+//  3. *Thread-safe.*  Recording calls may race freely (the ThreadPool's
+//     workers record per-task busy time); a single mutex serializes the name
+//     table, which is cheap at the chunk/probe granularity we record at.
+//  4. *Deterministic snapshots.*  snapshot() returns every section sorted by
+//     name, so two runs that perform the same work produce the same entry
+//     list in the same order (values of timing fields still differ, counter
+//     values do not).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathsel {
+
+/// Accumulated wall/CPU time of one named phase (RAII via ScopedTimer).
+struct PhaseStat {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;        // inclusive of nested phases
+  std::uint64_t cpu_ns = 0;         // thread CPU time, inclusive
+  std::uint64_t child_wall_ns = 0;  // wall time spent inside nested phases
+
+  /// Wall time attributed to this phase alone (inclusive minus nested).
+  [[nodiscard]] std::uint64_t self_wall_ns() const noexcept {
+    return wall_ns >= child_wall_ns ? wall_ns - child_wall_ns : 0;
+  }
+};
+
+/// Fixed-bucket histogram counts; upper_bounds is ascending and the final
+/// bucket is unbounded (counts values above the last finite bound).
+struct HistogramStat {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  // counts.size() == upper_bounds.size() + 1
+  std::uint64_t total = 0;
+};
+
+/// A point-in-time copy of the registry, every section sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, PhaseStat>> phases;
+  std::vector<std::pair<std::string, HistogramStat>> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && phases.empty() &&
+           histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.  Starts disabled unless the PATHSEL_METRICS
+  /// environment variable is set to a value other than "0".
+  [[nodiscard]] static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds `delta` to the named counter (created at zero on first use).
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets / accumulates the named gauge.
+  void set_gauge(std::string_view name, double value);
+  void add_gauge(std::string_view name, double delta);
+
+  /// Records one observation into the named fixed-bucket histogram.  The
+  /// bucket layout is fixed by the first observation: default latency bounds
+  /// (milliseconds, roughly logarithmic) unless `bounds` is non-empty.
+  void observe(std::string_view name, double value,
+               std::span<const double> bounds = {});
+
+  /// Accumulates one completed phase (ScopedTimer calls this).
+  void record_phase(std::string_view name, std::uint64_t wall_ns,
+                    std::uint64_t cpu_ns, std::uint64_t child_wall_ns);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Drops every entry (the enabled flag is unchanged).
+  void reset();
+
+  /// The default histogram bucket upper bounds, in milliseconds.
+  [[nodiscard]] static std::span<const double> default_latency_bounds_ms() noexcept;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  // std::map keeps iteration name-sorted, which makes snapshot ordering
+  // deterministic without a sort pass.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, PhaseStat, std::less<>> phases_;
+  std::map<std::string, HistogramStat, std::less<>> histograms_;
+};
+
+/// RAII wall/CPU timer for one named phase.  Nested timers on the same
+/// thread attribute their inclusive wall time to the parent's child_wall_ns,
+/// so PhaseStat::self_wall_ns() reports each phase's own time even when
+/// phases wrap each other (PathTable::build inside an analyze sweep).
+/// Inert (no clock reads) when the registry is disabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view phase,
+                       MetricsRegistry& registry = MetricsRegistry::global());
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_ = nullptr;  // null: disabled at construction
+  ScopedTimer* parent_ = nullptr;
+  std::string phase_;
+  std::uint64_t start_wall_ns_ = 0;
+  std::uint64_t start_cpu_ns_ = 0;
+  std::uint64_t child_wall_ns_ = 0;
+};
+
+/// Monotonic wall clock in nanoseconds (steady_clock).
+[[nodiscard]] std::uint64_t wall_clock_ns() noexcept;
+
+/// Per-thread CPU time in nanoseconds; 0 where unsupported.
+[[nodiscard]] std::uint64_t thread_cpu_ns() noexcept;
+
+}  // namespace pathsel

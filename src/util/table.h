@@ -28,6 +28,15 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

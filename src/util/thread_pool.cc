@@ -7,8 +7,26 @@
 #include <memory>
 
 #include "util/expect.h"
+#include "util/metrics.h"
 
 namespace pathsel {
+
+namespace {
+
+// Executor index of the current thread: 0 for any thread calling
+// parallel_for, 1..N for pool workers.  Used only to label per-executor
+// busy-time gauges.
+thread_local unsigned t_executor_index = 0;
+
+void record_chunk_busy(std::uint64_t busy_ns) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.count("util.thread_pool.chunks_executed");
+  m.add_gauge("util.thread_pool.executor_busy_ms." +
+                  std::to_string(t_executor_index),
+              static_cast<double>(busy_ns) / 1e6);
+}
+
+}  // namespace
 
 unsigned hardware_thread_count() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
@@ -32,7 +50,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -56,7 +74,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned executor_index) {
+  t_executor_index = executor_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -76,9 +95,15 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   PATHSEL_EXPECT(chunk_size > 0, "parallel_for requires chunk_size > 0");
   const std::size_t chunks = chunk_count(n, chunk_size);
+  const bool metered = MetricsRegistry::global().enabled();
+  if (metered) {
+    MetricsRegistry::global().count("util.thread_pool.parallel_for_calls");
+  }
 
   auto run_chunk = [&](std::size_t c) {
+    const std::uint64_t start = metered ? wall_clock_ns() : 0;
     fn(c * chunk_size, std::min(n, (c + 1) * chunk_size), c);
+    if (metered) record_chunk_busy(wall_clock_ns() - start);
   };
 
   if (workers_.empty() || chunks == 1) {
@@ -121,6 +146,10 @@ void ThreadPool::parallel_for(
         done_cv.notify_one();
       });
     }
+  }
+  if (metered) {
+    MetricsRegistry::global().count("util.thread_pool.tasks_enqueued",
+                                    helper_count);
   }
   ready_.notify_all();
 

@@ -102,7 +102,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned executor_index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -1,0 +1,231 @@
+// Property/invariant tests for the stats layer, over seeded random inputs:
+// quantile agrees with sort-and-index, the t-test is antisymmetric under
+// sample swap, the KS statistic stays in [0, 1] and is zero on identical
+// samples, and histogram mass is conserved — including empty and
+// single-sample edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/ks.h"
+#include "stats/quantile.h"
+#include "stats/summary.h"
+#include "stats/ttest.h"
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+std::vector<double> random_sample(Rng& rng, std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.lognormal(3.0, 1.0));
+  return v;
+}
+
+TEST(QuantileInvariants, AgreesWithSortAndIndexAtExactOrderStatistics) {
+  Rng rng{7};
+  // Type-7: q = k / (n - 1) lands exactly on order statistic k.  Sizes are
+  // 2^m + 1 so k / (n - 1) is exactly representable and q * (n - 1)
+  // round-trips to k without an ulp of interpolation.
+  for (const std::size_t m : {0u, 1u, 3u, 5u, 7u}) {
+    const std::size_t n = (std::size_t{1} << m) + 1;
+    std::vector<double> v = random_sample(rng, n);
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t k = 0; k < n; ++k) {
+      const double q = static_cast<double>(k) / static_cast<double>(n - 1);
+      EXPECT_EQ(quantile(v, q), sorted[k]) << "n=" << n << " k=" << k;
+    }
+  }
+  // Arbitrary sizes agree up to interpolation rounding.
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.index(200);
+    std::vector<double> v = random_sample(rng, n);
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t k = 0; k < n; ++k) {
+      const double q = static_cast<double>(k) / static_cast<double>(n - 1);
+      EXPECT_NEAR(quantile(v, q), sorted[k], 1e-9 * (1.0 + sorted[k]))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(QuantileInvariants, InterpolatedValuesAreBracketedByNeighbors) {
+  Rng rng{11};
+  std::vector<double> v = random_sample(rng, 101);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double value = quantile(v, q);
+    EXPECT_GE(value, sorted.front());
+    EXPECT_LE(value, sorted.back());
+  }
+  // Monotone in q.
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(QuantileInvariants, SingleSampleEveryQuantileIsTheSample) {
+  const std::vector<double> v{42.0};
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(v, q), 42.0);
+  }
+  EXPECT_DOUBLE_EQ(median(v), 42.0);
+}
+
+TEST(TTestInvariants, AntisymmetricUnderSampleSwap) {
+  Rng rng{13};
+  for (int trial = 0; trial < 50; ++trial) {
+    Summary a;
+    Summary b;
+    const std::size_t na = 2 + rng.index(40);
+    const std::size_t nb = 2 + rng.index(40);
+    for (std::size_t i = 0; i < na; ++i) a.add(rng.lognormal(3.0, 0.5));
+    for (std::size_t i = 0; i < nb; ++i) b.add(rng.lognormal(3.2, 0.5));
+    const auto ea = MeanEstimate::from_summary(a);
+    const auto eb = MeanEstimate::from_summary(b);
+
+    const TTestResult fwd = welch_ttest(ea, eb);
+    const TTestResult rev = welch_ttest(eb, ea);
+    EXPECT_DOUBLE_EQ(fwd.difference, -rev.difference);
+    EXPECT_DOUBLE_EQ(fwd.half_width, rev.half_width);
+    EXPECT_DOUBLE_EQ(fwd.dof, rev.dof);
+    // Better/worse swap; indeterminate/zero are symmetric.
+    if (fwd.verdict == Significance::kBetter) {
+      EXPECT_EQ(rev.verdict, Significance::kWorse);
+    } else if (fwd.verdict == Significance::kWorse) {
+      EXPECT_EQ(rev.verdict, Significance::kBetter);
+    } else {
+      EXPECT_EQ(rev.verdict, fwd.verdict);
+    }
+  }
+}
+
+TEST(TTestInvariants, IdenticalEstimatesAreNeverSignificant) {
+  Summary s;
+  for (int i = 0; i < 20; ++i) s.add(10.0 + (i % 5));
+  const auto e = MeanEstimate::from_summary(s);
+  const TTestResult r = welch_ttest(e, e);
+  EXPECT_DOUBLE_EQ(r.difference, 0.0);
+  EXPECT_EQ(r.verdict, Significance::kIndeterminate);
+}
+
+TEST(KsInvariants, StatisticInUnitIntervalOnRandomSamples) {
+  Rng rng{17};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_sample(rng, 1 + rng.index(100));
+    const auto b = random_sample(rng, 1 + rng.index(100));
+    const KsResult r = ks_two_sample(a, b);
+    EXPECT_GE(r.statistic, 0.0);
+    EXPECT_LE(r.statistic, 1.0);
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+  }
+}
+
+TEST(KsInvariants, ZeroOnIdenticalSamples) {
+  Rng rng{19};
+  const auto a = random_sample(rng, 64);
+  const KsResult r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsInvariants, SymmetricUnderSwapAndOneOnDisjointSupport) {
+  Rng rng{23};
+  const auto a = random_sample(rng, 50);
+  const auto b = random_sample(rng, 70);
+  const KsResult ab = ks_two_sample(a, b);
+  const KsResult ba = ks_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+
+  std::vector<double> lo;
+  std::vector<double> hi;
+  for (int i = 0; i < 10; ++i) {
+    lo.push_back(static_cast<double>(i));
+    hi.push_back(1000.0 + i);
+  }
+  EXPECT_DOUBLE_EQ(ks_two_sample(lo, hi).statistic, 1.0);
+}
+
+TEST(KsInvariants, SingleSampleEachSide) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0};
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, a).statistic, 0.0);
+}
+
+TEST(HistogramInvariants, MassIsConservedAndEqualsN) {
+  Rng rng{29};
+  Histogram h{0.0, 5.0, 40};
+  const std::size_t n = 500;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Include out-of-range values: clamping must not drop mass.
+    h.add(rng.uniform(-50.0, 400.0));
+  }
+  EXPECT_DOUBLE_EQ(h.total_mass(), static_cast<double>(n));
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.mass_at(b);
+  EXPECT_NEAR(sum, static_cast<double>(n), 1e-9);
+}
+
+TEST(HistogramInvariants, QuantilesAreMonotoneAndWithinSupport) {
+  Rng rng{31};
+  Histogram h{0.0, 1.0, 100};
+  for (int i = 0; i < 1000; ++i) h.add(rng.lognormal(3.0, 0.8));
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramInvariants, SingleSampleQuantileFallsInItsBin) {
+  Histogram h{0.0, 1.0, 10};
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.total_mass(), 1.0);
+  EXPECT_GE(h.median(), 3.0);
+  EXPECT_LE(h.median(), 4.0);
+  EXPECT_NEAR(h.mean(), 3.5, 0.5);  // bin-center approximation
+}
+
+TEST(HistogramInvariants, ConvolutionNormalizesMassAndAddsMeans) {
+  Rng rng{37};
+  Histogram x{0.0, 2.0, 30};
+  Histogram y{0.0, 2.0, 30};
+  for (int i = 0; i < 200; ++i) x.add(rng.uniform(0.0, 50.0));
+  for (int i = 0; i < 300; ++i) y.add(rng.uniform(0.0, 50.0));
+  const Histogram z = Histogram::convolve(x, y);
+  // convolve() normalizes to a probability distribution regardless of input
+  // sample counts.
+  EXPECT_DOUBLE_EQ(z.total_mass(), 1.0);
+  // Bin (i, j) maps to bin i + j, whose center sits half a bin below the sum
+  // of the input centers, so means add up to that exact constant shift.
+  EXPECT_NEAR(z.mean(), x.mean() + y.mean() - 0.5 * z.bin_width(), 1e-9);
+}
+
+TEST(SummaryInvariants, EmptyAndSingleSampleEdgeCases) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace pathsel::stats

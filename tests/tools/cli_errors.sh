@@ -63,6 +63,29 @@ expect 0 "generate with faults" -- \
 expect 0 "analyze faulted with coverage" -- \
   analyze --in "$TMP/faulted.ds" --metric rtt --min-samples 2 --coverage
 
+# --metrics contract: bad format is a usage error; valid formats succeed and
+# the dump goes to stderr only, leaving stdout byte-identical to a
+# metrics-off run (observability must never change analysis output).
+expect 2 "bad metrics format" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --metrics=bogus
+expect 0 "metrics table format" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --metrics
+expect 0 "metrics json format" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --metrics=json
+
+"$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 \
+  > "$TMP/plain.out" 2>/dev/null
+"$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --metrics \
+  > "$TMP/metrics.out" 2> "$TMP/metrics.err"
+if ! cmp -s "$TMP/plain.out" "$TMP/metrics.out"; then
+  echo "FAIL: --metrics changed stdout" >&2
+  failures=$((failures + 1))
+fi
+if ! grep -q "core.path_table.builds" "$TMP/metrics.err"; then
+  echo "FAIL: --metrics dump missing from stderr" >&2
+  failures=$((failures + 1))
+fi
+
 if [[ "$failures" -ne 0 ]]; then
   echo "$failures case(s) failed" >&2
   exit 1

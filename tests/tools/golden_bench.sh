@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Golden-file regression harness for the bench --json output.
+#
+# Each bench binary is run at a fixed scale and thread count and its JSON
+# report is compared line-for-line against a checked-in golden snapshot.
+# Timing is the only nondeterministic content, and the schema puts all of it
+# in the trailing "metrics" object, so normalization simply truncates the
+# document at the "metrics" key; everything above it — every CDF point,
+# table cell and note — must match exactly, so any numeric drift in the
+# analysis pipeline fails the test.
+#
+# Regenerate snapshots after an intentional change with:
+#   PATHSEL_UPDATE_GOLDEN=1 ctest -R bench_golden
+set -u
+
+GOLDEN_DIR="${1:?usage: golden_bench.sh <golden-dir> <bench-binary>...}"
+shift
+
+# Fixed, reproducible configuration: small scale for speed, one thread so
+# the result does not depend on the host's core count (the sweeps are
+# thread-count invariant anyway; this keeps the baseline minimal).
+export PATHSEL_BENCH_SCALE=0.2
+export PATHSEL_THREADS=1
+unset PATHSEL_METRICS
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Everything strictly above the line holding the top-level "metrics" key is
+# the deterministic payload.
+normalize() {
+  sed -n '/^  "metrics":/q;p' "$1"
+}
+
+failures=0
+for bin in "$@"; do
+  name="$(basename "$bin")"
+  json="$TMP/$name.json"
+  golden="$GOLDEN_DIR/$name.json.golden"
+  if ! "$bin" --json "$json" > /dev/null 2> "$TMP/$name.err"; then
+    echo "FAIL: $name exited nonzero:" >&2
+    cat "$TMP/$name.err" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! grep -q '^  "metrics":' "$json"; then
+    echo "FAIL: $name: no top-level \"metrics\" key to truncate at" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  normalize "$json" > "$TMP/$name.norm"
+  if [[ "${PATHSEL_UPDATE_GOLDEN:-0}" != 0 ]]; then
+    cp "$TMP/$name.norm" "$golden"
+    echo "updated $golden"
+    continue
+  fi
+  if [[ ! -f "$golden" ]]; then
+    echo "FAIL: $name: missing golden file $golden" >&2
+    echo "      (run with PATHSEL_UPDATE_GOLDEN=1 to create it)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! diff -u "$golden" "$TMP/$name.norm" >&2; then
+    echo "FAIL: $name: output drifted from $golden" >&2
+    echo "      (PATHSEL_UPDATE_GOLDEN=1 regenerates if intentional)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "$failures golden check(s) failed" >&2
+  exit 1
+fi
+echo "all golden bench outputs match"

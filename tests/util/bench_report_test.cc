@@ -1,0 +1,215 @@
+// BenchReport contract: the JSON document has the fixed schema (key order,
+// "metrics" last), strings are escaped, doubles round-trip, and the output
+// parses as JSON.  A minimal recursive-descent validator stands in for a
+// JSON library so schema-validity is checked without new dependencies.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/bench_report.h"
+#include "util/metrics.h"
+#include "util/table.h"
+
+namespace pathsel {
+namespace {
+
+// Minimal JSON well-formedness checker: consumes one value, returns the
+// index one past it, or std::string::npos on a syntax error.
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+std::size_t parse_value(const std::string& s, std::size_t i);
+
+std::size_t parse_string(const std::string& s, std::size_t i) {
+  if (i >= s.size() || s[i] != '"') return std::string::npos;
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) return std::string::npos;
+      if (s[i] == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++i;
+          if (i >= s.size() ||
+              !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+            return std::string::npos;
+          }
+        }
+      }
+    }
+    ++i;
+  }
+  return i < s.size() ? i + 1 : std::string::npos;
+}
+
+std::size_t parse_object(const std::string& s, std::size_t i) {
+  if (s[i] != '{') return std::string::npos;
+  i = skip_ws(s, i + 1);
+  if (i < s.size() && s[i] == '}') return i + 1;
+  for (;;) {
+    i = parse_string(s, skip_ws(s, i));
+    if (i == std::string::npos) return i;
+    i = skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') return std::string::npos;
+    i = parse_value(s, skip_ws(s, i + 1));
+    if (i == std::string::npos) return i;
+    i = skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') {
+      i = skip_ws(s, i + 1);
+      continue;
+    }
+    return i < s.size() && s[i] == '}' ? i + 1 : std::string::npos;
+  }
+}
+
+std::size_t parse_array(const std::string& s, std::size_t i) {
+  if (s[i] != '[') return std::string::npos;
+  i = skip_ws(s, i + 1);
+  if (i < s.size() && s[i] == ']') return i + 1;
+  for (;;) {
+    i = parse_value(s, i);
+    if (i == std::string::npos) return i;
+    i = skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') {
+      i = skip_ws(s, i + 1);
+      continue;
+    }
+    return i < s.size() && s[i] == ']' ? i + 1 : std::string::npos;
+  }
+}
+
+std::size_t parse_value(const std::string& s, std::size_t i) {
+  i = skip_ws(s, i);
+  if (i >= s.size()) return std::string::npos;
+  if (s[i] == '{') return parse_object(s, i);
+  if (s[i] == '[') return parse_array(s, i);
+  if (s[i] == '"') return parse_string(s, i);
+  if (s.compare(i, 4, "true") == 0) return i + 4;
+  if (s.compare(i, 5, "false") == 0) return i + 5;
+  if (s.compare(i, 4, "null") == 0) return i + 4;
+  const std::size_t start = i;
+  if (s[i] == '-') ++i;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+          s[i] == 'e' || s[i] == 'E' || s[i] == '+' || s[i] == '-')) {
+    ++i;
+  }
+  return i > start ? i : std::string::npos;
+}
+
+bool is_valid_json(const std::string& s) {
+  const std::size_t end = parse_value(s, 0);
+  return end != std::string::npos && skip_ws(s, end) == s.size();
+}
+
+std::string render(const BenchReport& report, const MetricsSnapshot& metrics) {
+  std::ostringstream os;
+  report.write(os, metrics);
+  return os.str();
+}
+
+TEST(BenchReport, EmptyReportIsValidJsonWithFixedKeyOrder) {
+  BenchReport report{"empty"};
+  const std::string doc = render(report, MetricsSnapshot{});
+  EXPECT_TRUE(is_valid_json(doc)) << doc;
+  const auto pos_schema = doc.find("\"schema_version\"");
+  const auto pos_bench = doc.find("\"bench\"");
+  const auto pos_scale = doc.find("\"scale\"");
+  const auto pos_results = doc.find("\"results\"");
+  const auto pos_metrics = doc.find("\"metrics\"");
+  EXPECT_LT(pos_schema, pos_bench);
+  EXPECT_LT(pos_bench, pos_scale);
+  EXPECT_LT(pos_scale, pos_results);
+  EXPECT_LT(pos_results, pos_metrics);
+}
+
+TEST(BenchReport, MetricsIsTheLastTopLevelKey) {
+  // The golden-file normalizer truncates at the "metrics" line; no result
+  // data may follow it.
+  BenchReport report{"order"};
+  report.add_note("after-check");
+  const std::string doc = render(report, MetricsSnapshot{});
+  const auto pos_metrics = doc.find("\"metrics\"");
+  ASSERT_NE(pos_metrics, std::string::npos);
+  EXPECT_EQ(doc.find("after-check", pos_metrics), std::string::npos);
+}
+
+TEST(BenchReport, TableSeriesAndNoteRoundTrip) {
+  BenchReport report{"full"};
+  report.set_scale(0.25);
+  Table t{"the \"title\""};
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x\ny", "z\\w"});
+  report.add_table(t);
+  Series s;
+  s.name = "cdf";
+  s.x = {1.0, 2.5, -3.0};
+  s.y = {0.1, 0.2, 0.3};
+  const std::vector<Series> sv{s};
+  report.add_series("fig", sv);
+  report.add_note("note with \"quotes\" and\nnewline");
+  EXPECT_EQ(report.result_count(), 3u);
+
+  const std::string doc = render(report, MetricsSnapshot{});
+  EXPECT_TRUE(is_valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"bench\": \"full\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scale\": 0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"type\": \"table\""), std::string::npos);
+  EXPECT_NE(doc.find("\"type\": \"series\""), std::string::npos);
+  EXPECT_NE(doc.find("\"type\": \"note\""), std::string::npos);
+  EXPECT_NE(doc.find("the \\\"title\\\""), std::string::npos);
+  EXPECT_NE(doc.find("x\\ny"), std::string::npos);
+  EXPECT_NE(doc.find("z\\\\w"), std::string::npos);
+}
+
+TEST(BenchReport, MetricsSectionSerializesEveryKind) {
+  MetricsRegistry r;
+  r.enable();
+  r.count("counter.a", 3);
+  r.set_gauge("gauge.b", 1.5);
+  r.record_phase("phase.c", 2'000'000, 1'000'000, 500'000);
+  const double bounds[] = {1.0, 10.0};
+  r.observe("histo.d", 5.0, bounds);
+
+  BenchReport report{"metrics"};
+  const std::string doc = render(report, r.snapshot());
+  EXPECT_TRUE(is_valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"counter.a\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauge.b\": 1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"calls\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_ms\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"self_wall_ms\": 1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"le\": [1, 10]"), std::string::npos);
+  EXPECT_NE(doc.find("\"total\": 1"), std::string::npos);
+}
+
+TEST(BenchReport, JsonEscaping) {
+  std::string out;
+  json_append_escaped(out, "a\"b\\c\nd\te\rf\x01g");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\"");
+}
+
+TEST(BenchReport, DoubleFormattingIsShortestRoundTrip) {
+  std::string out;
+  json_append_double(out, 0.1);
+  EXPECT_EQ(out, "0.1");
+  out.clear();
+  json_append_double(out, 1e300);
+  EXPECT_EQ(std::stod(out), 1e300);
+  out.clear();
+  json_append_double(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json_append_double(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+}
+
+}  // namespace
+}  // namespace pathsel

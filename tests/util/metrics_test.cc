@@ -1,0 +1,227 @@
+// MetricsRegistry contract: exact concurrent counting, zero entries while
+// disabled, deterministic snapshot ordering, and ScopedTimer nesting that
+// attributes time to the right phase.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace pathsel {
+namespace {
+
+TEST(Metrics, DisabledRegistryAddsNoEntries) {
+  MetricsRegistry r;  // starts disabled
+  r.count("c");
+  r.set_gauge("g", 1.0);
+  r.add_gauge("g2", 2.0);
+  r.observe("h", 5.0);
+  r.record_phase("p", 1, 1, 0);
+  {
+    const ScopedTimer t{"scoped", r};
+  }
+  EXPECT_TRUE(r.snapshot().empty());
+}
+
+TEST(Metrics, EnableDisableRoundTrip) {
+  MetricsRegistry r;
+  EXPECT_FALSE(r.enabled());
+  r.enable();
+  EXPECT_TRUE(r.enabled());
+  r.count("c");
+  r.enable(false);
+  r.count("c");  // ignored again
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 1u);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsSumExactly) {
+  MetricsRegistry r;
+  r.enable();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kIncrements; ++i) r.count("shared");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, ConcurrentMixedRecordingIsSafe) {
+  MetricsRegistry r;
+  r.enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, t] {
+      for (int i = 0; i < 1000; ++i) {
+        r.count("counter." + std::to_string(t));
+        r.add_gauge("gauge", 1.0);
+        r.observe("histo", static_cast<double>(i % 100));
+        r.record_phase("phase", 10, 10, 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = r.snapshot();
+  EXPECT_EQ(snap.counters.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [name, value] : snap.counters) EXPECT_EQ(value, 1000u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 4000.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.total, 4000u);
+  ASSERT_EQ(snap.phases.size(), 1u);
+  EXPECT_EQ(snap.phases[0].second.calls, 4000u);
+  EXPECT_EQ(snap.phases[0].second.wall_ns, 40'000u);
+}
+
+TEST(Metrics, SnapshotOrderingIsSortedByName) {
+  MetricsRegistry r;
+  r.enable();
+  r.count("zebra");
+  r.count("alpha");
+  r.count("mango");
+  r.set_gauge("z.g", 1.0);
+  r.set_gauge("a.g", 2.0);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mango");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "a.g");
+  EXPECT_EQ(snap.gauges[1].first, "z.g");
+}
+
+TEST(Metrics, CounterDeltaAndGaugeSemantics) {
+  MetricsRegistry r;
+  r.enable();
+  r.count("c", 5);
+  r.count("c", 7);
+  r.set_gauge("g", 3.0);
+  r.set_gauge("g", 9.0);  // set overwrites
+  r.add_gauge("g", 1.0);  // add accumulates
+  const auto snap = r.snapshot();
+  EXPECT_EQ(snap.counters[0].second, 12u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 10.0);
+}
+
+TEST(Metrics, HistogramBucketsCoverAllValues) {
+  MetricsRegistry r;
+  r.enable();
+  const double bounds[] = {1.0, 10.0, 100.0};
+  r.observe("h", 0.5, bounds);    // bucket 0 (<= 1)
+  r.observe("h", 1.0, bounds);    // bucket 0 (upper bounds are inclusive)
+  r.observe("h", 5.0, bounds);    // bucket 1
+  r.observe("h", 1000.0, bounds); // overflow bucket
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0].second;
+  ASSERT_EQ(h.upper_bounds.size(), 3u);
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 0u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.total, 4u);
+  std::uint64_t sum = 0;
+  for (const auto c : h.counts) sum += c;
+  EXPECT_EQ(sum, h.total);
+}
+
+TEST(Metrics, ResetDropsEntriesButKeepsEnabled) {
+  MetricsRegistry r;
+  r.enable();
+  r.count("c");
+  r.reset();
+  EXPECT_TRUE(r.snapshot().empty());
+  EXPECT_TRUE(r.enabled());
+  r.count("c");
+  EXPECT_EQ(r.snapshot().counters.size(), 1u);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnePhaseCall) {
+  MetricsRegistry r;
+  r.enable();
+  {
+    const ScopedTimer t{"outer", r};
+  }
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.phases.size(), 1u);
+  EXPECT_EQ(snap.phases[0].first, "outer");
+  EXPECT_EQ(snap.phases[0].second.calls, 1u);
+  EXPECT_EQ(snap.phases[0].second.child_wall_ns, 0u);
+}
+
+TEST(Metrics, ScopedTimerNestingAttributesChildTimeToParent) {
+  MetricsRegistry r;
+  r.enable();
+  {
+    const ScopedTimer outer{"outer", r};
+    {
+      const ScopedTimer inner{"inner", r};
+      // Do a little work so the inner wall time is nonzero.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+    }
+  }
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.phases.size(), 2u);
+  const auto& inner = snap.phases[0];
+  const auto& outer = snap.phases[1];
+  ASSERT_EQ(inner.first, "inner");
+  ASSERT_EQ(outer.first, "outer");
+  // The parent's child time is exactly the inner phase's inclusive wall
+  // time, so self time never double-counts nested work.
+  EXPECT_EQ(outer.second.child_wall_ns, inner.second.wall_ns);
+  EXPECT_GE(outer.second.wall_ns, inner.second.wall_ns);
+  EXPECT_EQ(outer.second.self_wall_ns(),
+            outer.second.wall_ns - inner.second.wall_ns);
+  EXPECT_EQ(inner.second.self_wall_ns(), inner.second.wall_ns);
+}
+
+TEST(Metrics, SiblingTimersBothCreditTheParent) {
+  MetricsRegistry r;
+  r.enable();
+  {
+    const ScopedTimer outer{"outer", r};
+    { const ScopedTimer a{"child", r}; }
+    { const ScopedTimer b{"child", r}; }
+  }
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.phases.size(), 2u);
+  const auto& child = snap.phases[0];
+  const auto& outer = snap.phases[1];
+  EXPECT_EQ(child.second.calls, 2u);
+  EXPECT_EQ(outer.second.child_wall_ns, child.second.wall_ns);
+}
+
+TEST(Metrics, TimersOnDifferentThreadsDoNotNest) {
+  MetricsRegistry r;
+  r.enable();
+  {
+    const ScopedTimer outer{"outer", r};
+    std::thread worker{[&r] {
+      const ScopedTimer inner{"inner", r};
+    }};
+    worker.join();
+  }
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.phases.size(), 2u);
+  // The nesting stack is thread-local: the worker's timer has no parent, so
+  // the outer phase records no child time.
+  EXPECT_EQ(snap.phases[1].second.child_wall_ns, 0u);
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -16,6 +16,10 @@
 //       graceful-degradation summary of how much of the mesh backed the
 //       results.
 //
+// Every command also accepts --metrics[=table|json]: enables the metrics
+// registry for the run and dumps its snapshot to stderr on exit.  Metrics
+// are passive — stdout is byte-identical with and without the flag.
+//
 // Exit codes: 0 success; 1 data error (dataset cannot support the request);
 // 2 usage error (unknown command/flag, missing or malformed value);
 // 3 input file unreadable; 4 dataset fails to parse.
@@ -38,6 +42,8 @@
 #include "core/path_table.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
+#include "util/bench_report.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace {
@@ -63,6 +69,7 @@ int usage() {
                "                      [--coverage] [--threads N]\n"
                "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
                "--threads defaults to the hardware thread count\n"
+               "--metrics[=table|json] dumps run metrics to stderr on exit\n"
                "exit codes: 0 ok, 1 data error, 2 usage, 3 unreadable file,\n"
                "            4 parse error\n");
   return kExitUsage;
@@ -72,10 +79,13 @@ using FlagMap = std::map<std::string, std::string>;
 
 // Strict flag parser: every token must be a known flag for the command, and
 // value flags must be followed by a value.  Returns false (after a one-line
-// diagnostic) on any violation.
+// diagnostic) on any violation.  `optional_value_flags` take their value
+// inline (--flag=value) or default to "table" when given bare.
 bool parse_flags(int argc, char** argv, int from,
                  const std::set<std::string>& value_flags,
-                 const std::set<std::string>& bool_flags, FlagMap& out) {
+                 const std::set<std::string>& bool_flags,
+                 const std::set<std::string>& optional_value_flags,
+                 FlagMap& out) {
   for (int i = from; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
@@ -83,7 +93,18 @@ bool parse_flags(int argc, char** argv, int from,
       return false;
     }
     key = key.substr(2);
-    if (bool_flags.contains(key)) {
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      const std::string bare = key.substr(0, eq);
+      if (!optional_value_flags.contains(bare)) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+        return false;
+      }
+      out[bare] = key.substr(eq + 1);
+      continue;
+    }
+    if (optional_value_flags.contains(key)) {
+      out[key] = "table";
+    } else if (bool_flags.contains(key)) {
       out[key] = "1";
     } else if (value_flags.contains(key)) {
       if (i + 1 >= argc) {
@@ -360,6 +381,54 @@ int cmd_analyze(const FlagMap& flags) {
   return kExitOk;
 }
 
+// Dumps the registry snapshot to stderr in the requested format.  stderr
+// keeps stdout byte-identical to a metrics-off run (metrics are passive).
+void dump_metrics(const std::string& format) {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  if (format == "json") {
+    std::fprintf(stderr, "%s\n", metrics_to_json(snap).c_str());
+    return;
+  }
+  std::fprintf(stderr, "-- metrics --\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::fprintf(stderr, "counter  %-45s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::fprintf(stderr, "gauge    %-45s %.3f\n", name.c_str(), value);
+  }
+  for (const auto& [name, p] : snap.phases) {
+    std::fprintf(stderr,
+                 "phase    %-45s calls=%llu wall=%.2fms cpu=%.2fms "
+                 "self=%.2fms\n",
+                 name.c_str(), static_cast<unsigned long long>(p.calls),
+                 static_cast<double>(p.wall_ns) / 1e6,
+                 static_cast<double>(p.cpu_ns) / 1e6,
+                 static_cast<double>(p.self_wall_ns()) / 1e6);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::fprintf(stderr, "histo    %-45s total=%llu\n", name.c_str(),
+                 static_cast<unsigned long long>(h.total));
+  }
+}
+
+// Runs `cmd` with the registry enabled when --metrics was given, dumping the
+// snapshot afterwards.  The flag value must be "table" or "json".
+int with_metrics(const FlagMap& flags, int (*cmd)(const FlagMap&)) {
+  const auto it = flags.find("metrics");
+  if (it != flags.end()) {
+    if (it->second != "table" && it->second != "json") {
+      std::fprintf(stderr, "invalid value for --metrics: %s\n",
+                   it->second.c_str());
+      return kExitUsage;
+    }
+    MetricsRegistry::global().enable();
+  }
+  const int rc = cmd(flags);
+  if (it != flags.end()) dump_metrics(it->second);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,21 +438,23 @@ int main(int argc, char** argv) {
   if (command == "generate") {
     if (!parse_flags(argc, argv, 2,
                      {"dataset", "scale", "seed", "out", "faults", "fault-seed"},
-                     {}, flags)) {
+                     {}, {"metrics"}, flags)) {
       return kExitUsage;
     }
-    return cmd_generate(flags);
+    return with_metrics(flags, cmd_generate);
   }
   if (command == "info") {
-    if (!parse_flags(argc, argv, 2, {"in"}, {}, flags)) return kExitUsage;
-    return cmd_info(flags);
+    if (!parse_flags(argc, argv, 2, {"in"}, {}, {"metrics"}, flags)) {
+      return kExitUsage;
+    }
+    return with_metrics(flags, cmd_info);
   }
   if (command == "analyze") {
     if (!parse_flags(argc, argv, 2, {"in", "metric", "min-samples", "threads"},
-                     {"one-hop", "csv", "coverage"}, flags)) {
+                     {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
-    return cmd_analyze(flags);
+    return with_metrics(flags, cmd_analyze);
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return usage();
