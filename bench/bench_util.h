@@ -10,9 +10,11 @@
 // the default 1.0 regenerates full-size datasets.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
@@ -93,9 +95,12 @@ inline JsonState& json_state() {
 }
 
 /// Parses bench argv (`--json <path>` or `--json=<path>`); prints usage to
-/// stderr and returns false on anything unrecognized.  Requesting JSON also
-/// enables the metrics registry so the report's "metrics" section is
-/// populated (the registry otherwise follows PATHSEL_METRICS).
+/// stderr and returns false on anything unrecognized.  The path is
+/// probe-opened immediately so an unwritable destination fails the bench up
+/// front with a clear message — not after minutes of collection with the
+/// report silently dropped.  Requesting JSON also enables the metrics
+/// registry so the report's "metrics" section is populated (the registry
+/// otherwise follows PATHSEL_METRICS).
 inline bool init(int argc, char** argv, const char* bench_id) {
   JsonState& s = json_state();
   s.report = BenchReport{bench_id};
@@ -116,7 +121,17 @@ inline bool init(int argc, char** argv, const char* bench_id) {
       return false;
     }
   }
-  if (!s.path.empty()) MetricsRegistry::global().enable();
+  if (!s.path.empty()) {
+    // Append mode: the probe must not truncate an existing report if this
+    // run later dies before finish().
+    std::ofstream probe{s.path, std::ios::app};
+    if (!probe) {
+      std::fprintf(stderr, "--json: cannot open '%s' for writing: %s\n",
+                   s.path.c_str(), std::strerror(errno));
+      return false;
+    }
+    MetricsRegistry::global().enable();
+  }
   return true;
 }
 

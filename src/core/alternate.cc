@@ -226,6 +226,16 @@ bool analyze_one_pair(const PathTable& table, const Adjacency& adj,
 
 std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
                                                 const AnalyzerOptions& options) {
+  Result<std::vector<PairResult>> results =
+      analyze_alternate_paths_checked(table, options);
+  PATHSEL_EXPECT(results.is_ok(),
+                 "alternate-path sweep cancelled; use "
+                 "analyze_alternate_paths_checked for cancellable sweeps");
+  return std::move(results.value());
+}
+
+Result<std::vector<PairResult>> analyze_alternate_paths_checked(
+    const PathTable& table, const AnalyzerOptions& options) {
   const std::uint64_t sweep_start = wall_clock_ns();
   std::vector<PairResult> results;
   {
@@ -239,7 +249,7 @@ std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
     constexpr std::size_t kChunk = 16;
     ThreadPool& pool =
         ThreadPool::shared(resolve_thread_count(options.threads));
-    results = pool.map_chunks<PairResult>(
+    Result<std::vector<PairResult>> swept = pool.map_chunks<PairResult>(
         edge_count, kChunk,
         [&](std::size_t begin, std::size_t end, std::size_t) {
           SearchScratch scratch;
@@ -255,7 +265,10 @@ std::vector<PairResult> analyze_alternate_paths(const PathTable& table,
             }
           }
           return local;
-        });
+        },
+        options.cancel);
+    if (!swept.is_ok()) return swept.status();
+    results = std::move(swept.value());
   }
   MetricsRegistry& m = MetricsRegistry::global();
   if (m.enabled()) {

@@ -55,11 +55,21 @@ struct AnalyzerOptions {
   /// util::default_thread_count(), 1 forces the serial path.  Results are
   /// bit-identical for every thread count.
   int threads = 0;
+  /// Optional cancellation; polled before every sweep chunk.  Only the
+  /// _checked entry point honours it — analyze_alternate_paths() aborts on
+  /// cancellation.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes the best alternate for every measured pair.  Pairs whose removal
 /// disconnects A from B (no alternate exists) are omitted.
 [[nodiscard]] std::vector<PairResult> analyze_alternate_paths(
+    const PathTable& table, const AnalyzerOptions& options = {});
+
+/// As analyze_alternate_paths(), but a tripped options.cancel surfaces as a
+/// Status (kDeadlineExceeded or kCancelled) after the in-flight chunks drain;
+/// partial results are discarded.
+[[nodiscard]] Result<std::vector<PairResult>> analyze_alternate_paths_checked(
     const PathTable& table, const AnalyzerOptions& options = {});
 
 /// Metric value of an edge (the graph weight before any transform).

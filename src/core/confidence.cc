@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "util/expect.h"
 #include "util/thread_pool.h"
 
 namespace pathsel::core {
@@ -17,6 +18,15 @@ constexpr std::size_t kChunk = 256;
 
 SignificanceTally classify_significance(std::span<const PairResult> results,
                                         double confidence, int threads) {
+  Result<SignificanceTally> tally =
+      classify_significance_checked(results, confidence, threads);
+  PATHSEL_EXPECT(tally.is_ok(), "significance sweep cancelled");
+  return tally.value();
+}
+
+Result<SignificanceTally> classify_significance_checked(
+    std::span<const PairResult> results, double confidence, int threads,
+    const CancelToken* cancel) {
   SignificanceTally tally;
   tally.pairs = results.size();
   if (results.empty()) return tally;
@@ -25,7 +35,7 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
   ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   std::vector<std::array<std::size_t, 4>> counts(
       ThreadPool::chunk_count(results.size(), kChunk));
-  pool.parallel_for(
+  const Status status = pool.parallel_for(
       results.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         std::array<std::size_t, 4> local{};
@@ -41,7 +51,9 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
           }
         }
         counts[chunk] = local;
-      });
+      },
+      cancel);
+  if (!status.is_ok()) return status;
   std::array<std::size_t, 4> total{};
   for (const auto& c : counts) {
     for (std::size_t i = 0; i < total.size(); ++i) total[i] += c[i];
@@ -56,8 +68,17 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
 
 std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
                                     double confidence, int threads) {
+  Result<std::vector<CiPoint>> points =
+      confidence_cdf_checked(results, confidence, threads);
+  PATHSEL_EXPECT(points.is_ok(), "confidence CDF sweep cancelled");
+  return std::move(points.value());
+}
+
+Result<std::vector<CiPoint>> confidence_cdf_checked(
+    std::span<const PairResult> results, double confidence, int threads,
+    const CancelToken* cancel) {
   ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
-  std::vector<CiPoint> points = pool.map_chunks<CiPoint>(
+  Result<std::vector<CiPoint>> mapped = pool.map_chunks<CiPoint>(
       results.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         std::vector<CiPoint> local;
@@ -69,7 +90,10 @@ std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
           local.push_back(CiPoint{t.difference, 0.0, t.half_width});
         }
         return local;
-      });
+      },
+      cancel);
+  if (!mapped.is_ok()) return mapped.status();
+  std::vector<CiPoint> points = std::move(mapped.value());
   std::sort(points.begin(), points.end(),
             [](const CiPoint& x, const CiPoint& y) {
               return x.difference < y.difference;

@@ -31,6 +31,12 @@ struct SignificanceTally {
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0);
 
+/// As classify_significance(), but polls `cancel` before every chunk and
+/// returns its status (kDeadlineExceeded or kCancelled) when tripped.
+[[nodiscard]] Result<SignificanceTally> classify_significance_checked(
+    std::span<const PairResult> results, double confidence = 0.95,
+    int threads = 0, const CancelToken* cancel = nullptr);
+
 /// One point of the Figure 7/8 plot: the pair's mean difference, its
 /// cumulative fraction, and the CI half-width to draw as an error bar.
 struct CiPoint {
@@ -43,5 +49,10 @@ struct CiPoint {
 [[nodiscard]] std::vector<CiPoint> confidence_cdf(
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0);
+
+/// As confidence_cdf(), but cancellable; partial CDFs are discarded.
+[[nodiscard]] Result<std::vector<CiPoint>> confidence_cdf_checked(
+    std::span<const PairResult> results, double confidence = 0.95,
+    int threads = 0, const CancelToken* cancel = nullptr);
 
 }  // namespace pathsel::core

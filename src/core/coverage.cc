@@ -74,13 +74,17 @@ Result<DegradedAnalysis> analyze_with_coverage(const meas::Dataset& dataset,
   }
 
   DegradedAnalysis out;
-  const PathTable table = PathTable::build(dataset, build);
-  out.coverage = summarize_coverage(dataset, table);
+  Result<PathTable> table = PathTable::build_checked(dataset, build);
+  if (!table.is_ok()) return table.status();
+  out.coverage = summarize_coverage(dataset, table.value());
   if (out.coverage.usable_edges == 0) {
     return Status::error(ErrorCode::kInsufficientData,
                          "no path met the min_samples filter");
   }
-  out.results = analyze_alternate_paths(table, analyze);
+  Result<std::vector<PairResult>> swept =
+      analyze_alternate_paths_checked(table.value(), analyze);
+  if (!swept.is_ok()) return swept.status();
+  out.results = std::move(swept.value());
   out.coverage.analyzable_edges = out.results.size();
   out.coverage.disconnected_edges =
       out.coverage.usable_edges - out.coverage.analyzable_edges;

@@ -62,7 +62,9 @@ struct DegradedAnalysis {
 /// than two hosts, or no edge survived the sample filter) and
 /// kInvalidArgument for metric/dataset mismatches (per-probe RTT and loss
 /// metrics need a traceroute dataset).  On success the coverage summary has
-/// analyzable_edges/disconnected_edges filled in from the results.
+/// analyzable_edges/disconnected_edges filled in from the results.  A cancel
+/// token set on either options struct propagates: cancellation surfaces as
+/// kDeadlineExceeded/kCancelled instead of aborting.
 [[nodiscard]] Result<DegradedAnalysis> analyze_with_coverage(
     const meas::Dataset& dataset, const BuildOptions& build = {},
     const AnalyzerOptions& analyze = {});

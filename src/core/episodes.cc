@@ -9,6 +9,14 @@ namespace pathsel::core {
 
 EpisodeAnalysis analyze_episodes(const meas::Dataset& dataset,
                                  const EpisodeOptions& options) {
+  Result<EpisodeAnalysis> out = analyze_episodes_checked(dataset, options);
+  PATHSEL_EXPECT(out.is_ok(), "episode analysis cancelled; use "
+                              "analyze_episodes_checked for cancellable runs");
+  return std::move(out.value());
+}
+
+Result<EpisodeAnalysis> analyze_episodes_checked(
+    const meas::Dataset& dataset, const EpisodeOptions& options) {
   PATHSEL_EXPECT(dataset.episode_count > 0,
                  "episode analysis requires an episode-mesh dataset");
   EpisodeAnalysis out;
@@ -17,18 +25,28 @@ EpisodeAnalysis analyze_episodes(const meas::Dataset& dataset,
   std::map<std::pair<topo::HostId, topo::HostId>, stats::Summary> per_pair;
 
   for (std::int32_t ep = 0; ep < dataset.episode_count; ++ep) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return options.cancel->status();
+    }
     BuildOptions build;
     build.min_samples = 1;
     build.threads = options.threads;
+    build.cancel = options.cancel;
     build.filter = [ep](const meas::Measurement& m) { return m.episode == ep; };
-    const PathTable table = PathTable::build(dataset, build);
+    Result<PathTable> built = PathTable::build_checked(dataset, build);
+    if (!built.is_ok()) return built.status();
+    const PathTable& table = built.value();
     if (table.edges().empty()) continue;
 
     AnalyzerOptions analyze;
     analyze.metric = options.metric;
     analyze.max_intermediate_hosts = options.max_intermediate_hosts;
     analyze.threads = options.threads;
-    const auto results = analyze_alternate_paths(table, analyze);
+    analyze.cancel = options.cancel;
+    Result<std::vector<PairResult>> swept =
+        analyze_alternate_paths_checked(table, analyze);
+    if (!swept.is_ok()) return swept.status();
+    const std::vector<PairResult>& results = swept.value();
     if (results.empty()) continue;
     ++out.episodes_analyzed;
     for (const auto& r : results) {

@@ -71,14 +71,27 @@ PathEdge accumulate_edge(const meas::Dataset& dataset,
 
 PathTable PathTable::build(const meas::Dataset& dataset,
                            const BuildOptions& options) {
+  Result<PathTable> table = build_checked(dataset, options);
+  PATHSEL_EXPECT(table.is_ok(), "PathTable::build cancelled; use "
+                                "build_checked for cancellable builds");
+  return std::move(table.value());
+}
+
+Result<PathTable> PathTable::build_checked(const meas::Dataset& dataset,
+                                           const BuildOptions& options) {
   const ScopedTimer timer{"core.path_table.build"};
   PathTable table;
   table.hosts_ = dataset.hosts;
 
   // Pass 1 (serial, no floating point): group measurement indices per
-  // undirected pair, preserving measurement order within each group.
+  // undirected pair, preserving measurement order within each group.  The
+  // cancel poll is amortised over 64k-measurement strides.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < dataset.measurements.size(); ++i) {
+    if (options.cancel != nullptr && (i & 0xffff) == 0 &&
+        options.cancel->cancelled()) {
+      return options.cancel->status();
+    }
     const auto& m = dataset.measurements[i];
     if (!m.completed) continue;
     if (options.filter && !options.filter(m)) continue;
@@ -97,7 +110,7 @@ PathTable PathTable::build(const meas::Dataset& dataset,
   constexpr std::size_t kChunk = 64;
   ThreadPool& pool =
       ThreadPool::shared(resolve_thread_count(options.threads));
-  table.edges_ = pool.map_chunks<PathEdge>(
+  Result<std::vector<PathEdge>> edges = pool.map_chunks<PathEdge>(
       keys.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         std::vector<PathEdge> local;
@@ -115,7 +128,10 @@ PathTable PathTable::build(const meas::Dataset& dataset,
           local.push_back(std::move(edge));
         }
         return local;
-      });
+      },
+      options.cancel);
+  if (!edges.is_ok()) return edges.status();
+  table.edges_ = std::move(edges.value());
   table.reindex();
   MetricsRegistry& m = MetricsRegistry::global();
   if (m.enabled()) {

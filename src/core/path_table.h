@@ -20,6 +20,8 @@
 #include "meas/dataset.h"
 #include "stats/summary.h"
 #include "topo/ids.h"
+#include "util/cancel.h"
+#include "util/status.h"
 
 namespace pathsel::core {
 
@@ -60,12 +62,22 @@ struct BuildOptions {
   /// samples are replayed in measurement order regardless, so the table is
   /// bit-identical for every thread count.
   int threads = 0;
+  /// Optional cancellation (deadline, signal, watchdog).  Polled during the
+  /// serial grouping pass and before every accumulation chunk; a tripped
+  /// token makes build_checked() return the token's status.  Only
+  /// build_checked() honours it — plain build() aborts on cancellation.
+  const CancelToken* cancel = nullptr;
 };
 
 class PathTable {
  public:
   [[nodiscard]] static PathTable build(const meas::Dataset& dataset,
                                        const BuildOptions& options = {});
+
+  /// As build(), but cancellation surfaces as a Status (kDeadlineExceeded or
+  /// kCancelled) instead of aborting; partial tables are discarded.
+  [[nodiscard]] static Result<PathTable> build_checked(
+      const meas::Dataset& dataset, const BuildOptions& options = {});
 
   [[nodiscard]] std::span<const PathEdge> edges() const noexcept {
     return edges_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "meas/checkpoint.h"
 #include "sim/fault.h"
 #include "topo/generator.h"
 #include "util/expect.h"
@@ -52,19 +53,32 @@ Catalog::Catalog(CatalogConfig config) : config_{config} {
 
 Duration Catalog::scaled(Duration d) const { return d * config_.scale; }
 
-Dataset Catalog::collect_faulted(const sim::Network& net,
-                                 std::vector<topo::HostId> hosts,
-                                 CollectorConfig cfg, std::string name,
-                                 std::uint64_t tag) {
-  if (config_.fault_intensity <= 0.0) {
-    return collect(net, std::move(hosts), cfg, std::move(name));
+MaterializedSpec Catalog::materialize(const DatasetSpec& spec) {
+  PATHSEL_EXPECT(spec.parent.empty(),
+                 "derived datasets are subsets, not campaigns");
+  MaterializedSpec mat;
+  mat.net = spec.uses_world95 ? &world95() : &world98();
+  mat.name = spec.name;
+  mat.hosts = spec.hosts;
+  mat.config = spec.config;
+  if (config_.fault_intensity > 0.0) {
+    const sim::FaultConfig fault_cfg = sim::FaultConfig::at_intensity(
+        config_.fault_intensity, config_.fault_seed ^ spec.fault_tag);
+    mat.plan = std::make_unique<sim::FaultPlan>(fault_cfg, mat.net->topology(),
+                                                mat.config.duration);
+    mat.config.faults = mat.plan.get();
+    mat.config.retry.max_retries = 2;
   }
-  const sim::FaultConfig fault_cfg = sim::FaultConfig::at_intensity(
-      config_.fault_intensity, config_.fault_seed ^ tag);
-  const sim::FaultPlan plan{fault_cfg, net.topology(), cfg.duration};
-  cfg.faults = &plan;
-  cfg.retry.max_retries = 2;
-  return collect(net, std::move(hosts), cfg, std::move(name));
+  mat.fingerprint = checkpoint_fingerprint(mat.name, mat.config, mat.hosts);
+  return mat;
+}
+
+Dataset Catalog::collect_primary(const DatasetSpec& spec) {
+  const MaterializedSpec mat = materialize(spec);
+  Result<Dataset> result = collect_resumable(
+      *mat.net, mat.hosts, mat.config, mat.name, CollectControls{}, nullptr);
+  PATHSEL_EXPECT(result.is_ok(), "uncontrolled collection failed");
+  return std::move(result.value());
 }
 
 const sim::Network& Catalog::world95() {
@@ -134,143 +148,169 @@ Dataset Catalog::subset(const Dataset& parent, std::string name,
   return out;
 }
 
-const Dataset& Catalog::d2() {
-  if (!d2_) {
+const std::vector<std::string>& Catalog::dataset_names() {
+  static const std::vector<std::string> names{
+      "D2", "D2-NA", "N2", "N2-NA", "UW1", "UW3", "UW4-A", "UW4-B"};
+  return names;
+}
+
+bool Catalog::is_dataset_name(std::string_view name) {
+  const auto& names = dataset_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+DatasetSpec Catalog::spec(std::string_view name) {
+  DatasetSpec s;
+  s.name = name;
+  if (name == "D2") {
     // Table 1: 33 world hosts, 48 days, traceroute, 35109 measurements.
-    const auto hosts = pick_hosts(world95(), 33, 22, false, 0xd2);
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0xd201;
-    cfg.discipline = Discipline::kExponentialPair;
-    cfg.kind = MeasurementKind::kTraceroute;
-    cfg.duration = scaled(Duration::days(48));
-    cfg.mean_interval = Duration::seconds(110.0);
-    cfg.first_sample_loss_only = true;  // rate limiters unidentifiable in 1995
-    cfg.availability.seed = config_.seed ^ 0xd2aa;
-    cfg.availability.dead_fraction = 0.015;
-    d2_ = collect_faulted(world95(), hosts, cfg, "D2", 0xd2);
+    s.uses_world95 = true;
+    s.fault_tag = 0xd2;
+    s.hosts = pick_hosts(world95(), 33, 22, false, 0xd2);
+    s.config.seed = config_.seed ^ 0xd201;
+    s.config.discipline = Discipline::kExponentialPair;
+    s.config.kind = MeasurementKind::kTraceroute;
+    s.config.duration = scaled(Duration::days(48));
+    s.config.mean_interval = Duration::seconds(110.0);
+    s.config.first_sample_loss_only = true;  // rate limiters unidentifiable in 1995
+    s.config.availability.seed = config_.seed ^ 0xd2aa;
+    s.config.availability.dead_fraction = 0.015;
+    return s;
   }
+  if (name == "N2") {
+    // Table 1: 31 world hosts, 44 days, tcpanaly, 18274 measurements.
+    s.uses_world95 = true;
+    s.fault_tag = 0x4e32;
+    s.hosts = pick_hosts(world95(), 31, 20, false, 0x4e32);
+    s.config.seed = config_.seed ^ 0x4e01;
+    s.config.discipline = Discipline::kExponentialPair;
+    s.config.kind = MeasurementKind::kTcpTransfer;
+    s.config.duration = scaled(Duration::days(44));
+    s.config.mean_interval = Duration::seconds(200.0);
+    s.config.availability.seed = config_.seed ^ 0x4eaa;
+    s.config.availability.dead_fraction = 0.04;
+    return s;
+  }
+  if (name == "D2-NA" || name == "N2-NA") {
+    // The paper's restriction of D2/N2 to their North American hosts.
+    const DatasetSpec parent = spec(name == "D2-NA" ? "D2" : "N2");
+    s.parent = parent.name;
+    s.uses_world95 = true;
+    s.config = parent.config;
+    for (const topo::HostId h : parent.hosts) {
+      if (world95().topology().host(h).region == topo::Region::kNorthAmerica) {
+        s.hosts.push_back(h);
+      }
+    }
+    return s;
+  }
+  if (name == "UW1") {
+    // Table 1: 36 NA hosts, 34 days, per-server uniform schedule (mean 15
+    // minutes); rate-limiting hosts kept as sources but not targets.
+    s.fault_tag = 0x5701;
+    s.hosts = pick_hosts(world98(), 36, 36, false, 0x0101);
+    s.config.seed = config_.seed ^ 0x5701;
+    s.config.discipline = Discipline::kUniformPerServer;
+    s.config.kind = MeasurementKind::kTraceroute;
+    s.config.duration = scaled(Duration::days(34));
+    s.config.mean_interval = Duration::minutes(15);
+    s.config.allow_rate_limited_targets = false;
+    s.config.availability.seed = config_.seed ^ 0x57aa;
+    s.config.availability.flaky_fraction = 0.15;
+    s.config.availability.dead_fraction = 0.03;
+    return s;
+  }
+  if (name == "UW3") {
+    // Table 1: 39 NA hosts, 7 days, exponential pair selection (mean 9 s);
+    // rate-limiting hosts filtered from the pool entirely.
+    s.fault_tag = 0x5703;
+    s.hosts = pick_hosts(world98(), 39, 39, true, 0x0303);
+    s.config.seed = config_.seed ^ 0x5703;
+    s.config.discipline = Discipline::kExponentialPair;
+    s.config.kind = MeasurementKind::kTraceroute;
+    s.config.duration = scaled(Duration::days(7));
+    s.config.mean_interval = Duration::seconds(9.0 * 7.0 / 11.0);  // ~94k attempts
+    s.config.availability.seed = config_.seed ^ 0x57bb;
+    s.config.availability.dead_fraction = 0.10;
+    return s;
+  }
+  if (name == "UW4-A") {
+    // 15 hosts drawn from the UW3 set, measured full-mesh in episodes
+    // scheduled with an exponential mean of 1000 s over 14 days.
+    s.fault_tag = 0x5704;
+    s.hosts = uw4_hosts();
+    s.config.seed = config_.seed ^ 0x5704;
+    s.config.discipline = Discipline::kEpisodeFullMesh;
+    s.config.kind = MeasurementKind::kTraceroute;
+    s.config.duration = scaled(Duration::days(14));
+    s.config.mean_interval = Duration::seconds(1000.0);
+    s.config.episode_window = Duration::minutes(4);
+    s.config.availability.flaky_fraction = 0.0;  // chosen for reliability: 100% cover
+    return s;
+  }
+  if (name == "UW4-B") {
+    s.fault_tag = 0x5705;
+    s.hosts = uw4_hosts();
+    s.config.seed = config_.seed ^ 0x5705;
+    s.config.discipline = Discipline::kExponentialPair;
+    s.config.kind = MeasurementKind::kTraceroute;
+    s.config.duration = scaled(Duration::days(14));
+    s.config.mean_interval = Duration::seconds(130.0);
+    s.config.availability.flaky_fraction = 0.0;
+    return s;
+  }
+  PATHSEL_EXPECT(false, "unknown dataset name");
+  return s;  // unreachable
+}
+
+const std::vector<topo::HostId>& Catalog::uw4_hosts() {
+  if (uw4_hosts_.empty()) {
+    std::vector<topo::HostId> pool = spec("UW3").hosts;
+    Rng rng{config_.seed ^ 0x0404};
+    rng.shuffle(std::span<topo::HostId>{pool});
+    uw4_hosts_.assign(pool.begin(), pool.begin() + 15);
+    std::sort(uw4_hosts_.begin(), uw4_hosts_.end());
+  }
+  return uw4_hosts_;
+}
+
+const Dataset& Catalog::d2() {
+  if (!d2_) d2_ = collect_primary(spec("D2"));
   return *d2_;
 }
 
 const Dataset& Catalog::d2_na() {
-  if (!d2_na_) {
-    const Dataset& parent = d2();
-    std::vector<topo::HostId> na;
-    for (const topo::HostId h : parent.hosts) {
-      if (world95().topology().host(h).region == topo::Region::kNorthAmerica) {
-        na.push_back(h);
-      }
-    }
-    d2_na_ = subset(parent, "D2-NA", na);
-  }
+  if (!d2_na_) d2_na_ = subset(d2(), "D2-NA", spec("D2-NA").hosts);
   return *d2_na_;
 }
 
 const Dataset& Catalog::n2() {
-  if (!n2_) {
-    // Table 1: 31 world hosts, 44 days, tcpanaly, 18274 measurements.
-    const auto hosts = pick_hosts(world95(), 31, 20, false, 0x4e32);
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0x4e01;
-    cfg.discipline = Discipline::kExponentialPair;
-    cfg.kind = MeasurementKind::kTcpTransfer;
-    cfg.duration = scaled(Duration::days(44));
-    cfg.mean_interval = Duration::seconds(200.0);
-    cfg.availability.seed = config_.seed ^ 0x4eaa;
-    cfg.availability.dead_fraction = 0.04;
-    n2_ = collect_faulted(world95(), hosts, cfg, "N2", 0x4e32);
-  }
+  if (!n2_) n2_ = collect_primary(spec("N2"));
   return *n2_;
 }
 
 const Dataset& Catalog::n2_na() {
-  if (!n2_na_) {
-    const Dataset& parent = n2();
-    std::vector<topo::HostId> na;
-    for (const topo::HostId h : parent.hosts) {
-      if (world95().topology().host(h).region == topo::Region::kNorthAmerica) {
-        na.push_back(h);
-      }
-    }
-    n2_na_ = subset(parent, "N2-NA", na);
-  }
+  if (!n2_na_) n2_na_ = subset(n2(), "N2-NA", spec("N2-NA").hosts);
   return *n2_na_;
 }
 
 const Dataset& Catalog::uw1() {
-  if (!uw1_) {
-    // Table 1: 36 NA hosts, 34 days, per-server uniform schedule (mean 15
-    // minutes); rate-limiting hosts kept as sources but not targets.
-    const auto hosts = pick_hosts(world98(), 36, 36, false, 0x0101);
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0x5701;
-    cfg.discipline = Discipline::kUniformPerServer;
-    cfg.kind = MeasurementKind::kTraceroute;
-    cfg.duration = scaled(Duration::days(34));
-    cfg.mean_interval = Duration::minutes(15);
-    cfg.allow_rate_limited_targets = false;
-    cfg.availability.seed = config_.seed ^ 0x57aa;
-    cfg.availability.flaky_fraction = 0.15;
-    cfg.availability.dead_fraction = 0.03;
-    uw1_ = collect_faulted(world98(), hosts, cfg, "UW1", 0x5701);
-  }
+  if (!uw1_) uw1_ = collect_primary(spec("UW1"));
   return *uw1_;
 }
 
 const Dataset& Catalog::uw3() {
-  if (!uw3_) {
-    // Table 1: 39 NA hosts, 7 days, exponential pair selection (mean 9 s);
-    // rate-limiting hosts filtered from the pool entirely.
-    const auto hosts = pick_hosts(world98(), 39, 39, true, 0x0303);
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0x5703;
-    cfg.discipline = Discipline::kExponentialPair;
-    cfg.kind = MeasurementKind::kTraceroute;
-    cfg.duration = scaled(Duration::days(7));
-    cfg.mean_interval = Duration::seconds(9.0 * 7.0 / 11.0);  // ~94k attempts
-    cfg.availability.seed = config_.seed ^ 0x57bb;
-    cfg.availability.dead_fraction = 0.10;
-    uw3_ = collect_faulted(world98(), hosts, cfg, "UW3", 0x5703);
-  }
+  if (!uw3_) uw3_ = collect_primary(spec("UW3"));
   return *uw3_;
 }
 
 const Dataset& Catalog::uw4a() {
-  if (!uw4a_) {
-    // 15 hosts drawn from the UW3 set, measured full-mesh in episodes
-    // scheduled with an exponential mean of 1000 s over 14 days.
-    if (uw4_hosts_.empty()) {
-      std::vector<topo::HostId> pool = uw3().hosts;
-      Rng rng{config_.seed ^ 0x0404};
-      rng.shuffle(std::span<topo::HostId>{pool});
-      uw4_hosts_.assign(pool.begin(), pool.begin() + 15);
-      std::sort(uw4_hosts_.begin(), uw4_hosts_.end());
-    }
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0x5704;
-    cfg.discipline = Discipline::kEpisodeFullMesh;
-    cfg.kind = MeasurementKind::kTraceroute;
-    cfg.duration = scaled(Duration::days(14));
-    cfg.mean_interval = Duration::seconds(1000.0);
-    cfg.episode_window = Duration::minutes(4);
-    cfg.availability.flaky_fraction = 0.0;  // chosen for reliability: 100% cover
-    uw4a_ = collect_faulted(world98(), uw4_hosts_, cfg, "UW4-A", 0x5704);
-  }
+  if (!uw4a_) uw4a_ = collect_primary(spec("UW4-A"));
   return *uw4a_;
 }
 
 const Dataset& Catalog::uw4b() {
-  if (!uw4b_) {
-    (void)uw4a();  // fixes uw4_hosts_
-    CollectorConfig cfg;
-    cfg.seed = config_.seed ^ 0x5705;
-    cfg.discipline = Discipline::kExponentialPair;
-    cfg.kind = MeasurementKind::kTraceroute;
-    cfg.duration = scaled(Duration::days(14));
-    cfg.mean_interval = Duration::seconds(130.0);
-    cfg.availability.flaky_fraction = 0.0;
-    uw4b_ = collect_faulted(world98(), uw4_hosts_, cfg, "UW4-B", 0x5705);
-  }
+  if (!uw4b_) uw4b_ = collect_primary(spec("UW4-B"));
   return *uw4b_;
 }
 

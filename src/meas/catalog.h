@@ -40,6 +40,39 @@ struct CatalogConfig {
   std::uint64_t fault_seed = 1999;
 };
 
+/// A declarative description of one catalog dataset: everything needed to
+/// collect it (or, for the -NA restrictions, to derive it from its parent)
+/// without actually running the campaign.  Specs let the campaign layer
+/// (meas/campaign) own the collection loop — checkpointing, cancellation,
+/// resume — while the catalog stays the single source of truth for Table 1's
+/// parameters.
+struct DatasetSpec {
+  std::string name;
+  /// Non-empty for derived datasets (D2-NA, N2-NA): the primary dataset this
+  /// one is a host-restricted subset of.  Derived specs are never collected;
+  /// they filter the parent's measurements.
+  std::string parent;
+  bool uses_world95 = false;
+  std::vector<topo::HostId> hosts;
+  /// Collector parameters with `faults` unset; Catalog::materialize wires in
+  /// the fault plan implied by CatalogConfig::fault_intensity.
+  CollectorConfig config;
+  std::uint64_t fault_tag = 0;
+};
+
+/// A spec made runnable: the world, the owned fault plan (null at zero
+/// intensity), the final CollectorConfig with the plan wired in, and the
+/// checkpoint fingerprint binding this exact campaign.  Keep it alive for
+/// the duration of the collect call (config.faults points into `plan`).
+struct MaterializedSpec {
+  const sim::Network* net = nullptr;
+  std::unique_ptr<sim::FaultPlan> plan;
+  CollectorConfig config;
+  std::vector<topo::HostId> hosts;
+  std::string name;
+  std::uint64_t fingerprint = 0;
+};
+
 class Catalog {
  public:
   explicit Catalog(CatalogConfig config = {});
@@ -47,6 +80,19 @@ class Catalog {
   /// The two simulated worlds (lazily constructed, cached).
   [[nodiscard]] const sim::Network& world95();
   [[nodiscard]] const sim::Network& world98();
+
+  /// The paper's dataset names in canonical (Table 1) order.
+  [[nodiscard]] static const std::vector<std::string>& dataset_names();
+
+  /// The spec for one dataset name.  Aborts on unknown names (use
+  /// dataset_names() / is_dataset_name() to validate user input first).
+  [[nodiscard]] DatasetSpec spec(std::string_view name);
+  [[nodiscard]] static bool is_dataset_name(std::string_view name);
+
+  /// Prepares a primary (non-derived) spec for collection: resolves the
+  /// world, builds the fault plan at the catalog's fault intensity (enabling
+  /// the standard 2-retry policy), and computes the checkpoint fingerprint.
+  [[nodiscard]] MaterializedSpec materialize(const DatasetSpec& spec);
 
   // The datasets (lazily collected, cached).
   [[nodiscard]] const Dataset& d2();
@@ -67,13 +113,10 @@ class Catalog {
                                       const std::vector<topo::HostId>& keep);
 
  private:
-  /// collect(), with the catalog's fault intensity layered on: builds a
-  /// FaultPlan seeded from fault_seed ^ tag for the campaign's duration and
-  /// enables bounded retries.  Zero intensity is a plain collect() call.
-  [[nodiscard]] Dataset collect_faulted(const sim::Network& net,
-                                        std::vector<topo::HostId> hosts,
-                                        CollectorConfig cfg, std::string name,
-                                        std::uint64_t tag);
+  /// Collects a primary spec with no controls (the cached-getter path).
+  [[nodiscard]] Dataset collect_primary(const DatasetSpec& spec);
+  /// The 15 UW4 hosts: a fixed shuffle of the UW3 host set.
+  [[nodiscard]] const std::vector<topo::HostId>& uw4_hosts();
   [[nodiscard]] Duration scaled(Duration d) const;
   [[nodiscard]] std::vector<topo::HostId> pick_hosts(
       const sim::Network& net, std::size_t count, std::size_t na_count,

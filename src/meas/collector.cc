@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <utility>
 
 #include "util/expect.h"
 #include "util/metrics.h"
@@ -34,6 +35,16 @@ void record_probe_outcome(FailureReason reason) {
             failure_metric_suffix(reason));
   }
 }
+
+// Fires later: the same total order sim::EventQueue imposed when the
+// collector scheduled closures, so the typed-event loop dispatches in
+// exactly the historical order (byte-identical datasets).
+struct FiresLater {
+  bool operator()(const CampaignEvent& a, const CampaignEvent& b) const noexcept {
+    if (a.t != b.t) return b.t < a.t;
+    return b.seq < a.seq;
+  }
+};
 
 class Campaign {
  public:
@@ -75,8 +86,66 @@ class Campaign {
     fault_aware_ = plan_ != nullptr || config_.retry.max_retries > 0;
   }
 
-  Dataset run() {
-    const SimTime end = SimTime::start() + config_.duration;
+  Result<Dataset> run(const CollectControls& controls,
+                      const CampaignCheckpoint* resume) {
+    if (resume == nullptr) {
+      schedule_initial();
+    } else {
+      const Status restored = restore(*resume);
+      if (!restored.is_ok()) return restored;
+    }
+
+    const bool checkpointing =
+        controls.on_checkpoint != nullptr &&
+        !(controls.checkpoint_interval < Duration::millis(1));
+    SimTime next_checkpoint =
+        checkpointing ? now_ + controls.checkpoint_interval : end_;
+
+    while (!heap_.empty() && !(end_ < heap_.front().t)) {
+      if (controls.cancel != nullptr && controls.cancel->cancelled()) {
+        if (controls.on_checkpoint != nullptr) {
+          const Status saved = controls.on_checkpoint(snapshot());
+          if (!saved.is_ok()) return saved;
+        }
+        return controls.cancel->status();
+      }
+      dispatch(pop_event());
+      if (checkpointing && !(now_ < next_checkpoint)) {
+        const Status saved = controls.on_checkpoint(snapshot());
+        if (!saved.is_ok()) return saved;
+        while (!(now_ < next_checkpoint)) {
+          next_checkpoint = next_checkpoint + controls.checkpoint_interval;
+        }
+      }
+    }
+
+    std::sort(dataset_.measurements.begin(), dataset_.measurements.end(),
+              [](const Measurement& a, const Measurement& b) {
+                return a.when < b.when;
+              });
+    return std::move(dataset_);
+  }
+
+ private:
+  // --- typed-event heap ------------------------------------------------------
+  // Seq is allocated per push, exactly as sim::EventQueue allocated it per
+  // schedule call, so equal-time events keep their scheduling order.
+
+  void push_event(CampaignEvent ev) {
+    ev.seq = next_seq_++;
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  }
+
+  CampaignEvent pop_event() {
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    CampaignEvent ev = heap_.back();
+    heap_.pop_back();
+    now_ = ev.t;
+    return ev;
+  }
+
+  void schedule_initial() {
     switch (config_.discipline) {
       case Discipline::kUniformPerServer:
         for (std::size_t i = 0; i < dataset_.hosts.size(); ++i) {
@@ -87,21 +156,139 @@ class Campaign {
         }
         break;
       case Discipline::kExponentialPair:
-        schedule_next_pair();
+        schedule_next_pair(SimTime::start());
         break;
       case Discipline::kEpisodeFullMesh:
-        schedule_next_episode();
+        schedule_next_episode(SimTime::start());
         break;
     }
-    queue_.run_until(end);
-    std::sort(dataset_.measurements.begin(), dataset_.measurements.end(),
-              [](const Measurement& a, const Measurement& b) {
-                return a.when < b.when;
-              });
-    return std::move(dataset_);
   }
 
- private:
+  void dispatch(const CampaignEvent& ev) {
+    switch (ev.kind) {
+      case CampaignEventKind::kServerProbe: {
+        const auto server_idx = static_cast<std::size_t>(ev.a);
+        Rng& rng = server_rngs_[server_idx];
+        const topo::HostId server = dataset_.hosts[server_idx];
+        topo::HostId target = server;
+        while (target == server) {
+          target = targets_[rng.index(targets_.size())];
+        }
+        measure(server, target, ev.t, -1);
+        schedule_server_probe(server_idx, ev.t);
+        break;
+      }
+      case CampaignEventKind::kNextPair: {
+        const topo::HostId src =
+            dataset_.hosts[rng_.index(dataset_.hosts.size())];
+        topo::HostId dst = src;
+        while (dst == src) {
+          dst = targets_[rng_.index(targets_.size())];
+        }
+        measure(src, dst, ev.t, -1);
+        schedule_next_pair(ev.t);
+        break;
+      }
+      case CampaignEventKind::kNextEpisode: {
+        const std::int32_t episode = dataset_.episode_count++;
+        // Every ordered pair, spread across the episode window.
+        for (const topo::HostId src : dataset_.hosts) {
+          for (const topo::HostId dst : dataset_.hosts) {
+            if (src == dst) continue;
+            const double offset_s =
+                rng_.uniform(0.0, config_.episode_window.total_seconds());
+            push_event(CampaignEvent{
+                .t = ev.t + Duration::seconds(offset_s),
+                .kind = CampaignEventKind::kEpisodeProbe,
+                .a = src.value(),
+                .b = dst.value(),
+                .episode = episode,
+            });
+          }
+        }
+        schedule_next_episode(ev.t);
+        break;
+      }
+      case CampaignEventKind::kEpisodeProbe:
+        measure(topo::HostId{ev.a}, topo::HostId{ev.b}, ev.t, ev.episode);
+        break;
+      case CampaignEventKind::kRetry:
+        attempt(topo::HostId{ev.a}, topo::HostId{ev.b}, ev.first, ev.t,
+                ev.episode, ev.tried);
+        break;
+    }
+  }
+
+  // --- checkpoint ------------------------------------------------------------
+
+  [[nodiscard]] CampaignCheckpoint snapshot() const {
+    CampaignCheckpoint cp;
+    cp.dataset_name = dataset_.name;
+    cp.now = now_;
+    cp.next_seq = next_seq_;
+    cp.episode_count = dataset_.episode_count;
+    cp.rng_state = rng_.state();
+    cp.server_rng_states.reserve(server_rngs_.size());
+    for (const Rng& r : server_rngs_) cp.server_rng_states.push_back(r.state());
+    cp.injector_epoch =
+        injector_.has_value() ? static_cast<std::uint64_t>(injector_->epoch())
+                              : 0;
+    cp.pending = heap_;
+    std::sort(cp.pending.begin(), cp.pending.end(),
+              [](const CampaignEvent& a, const CampaignEvent& b) {
+                return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+              });
+    cp.measurements = dataset_.measurements;
+    return cp;
+  }
+
+  [[nodiscard]] Status restore(const CampaignCheckpoint& cp) {
+    auto mismatch = [](const std::string& what) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "checkpoint does not match this campaign: " + what);
+    };
+    if (config_.discipline == Discipline::kUniformPerServer) {
+      if (cp.server_rng_states.size() != dataset_.hosts.size()) {
+        return mismatch("per-server RNG stream count");
+      }
+    } else if (!cp.server_rng_states.empty()) {
+      return mismatch("per-server RNG streams in a pairwise campaign");
+    }
+    if (end_ < cp.now) return mismatch("checkpoint time past campaign end");
+    for (const CampaignEvent& ev : cp.pending) {
+      if (ev.seq >= cp.next_seq) return mismatch("event sequence numbers");
+      if (ev.t < cp.now) return mismatch("pending event before checkpoint time");
+    }
+
+    now_ = cp.now;
+    next_seq_ = cp.next_seq;
+    dataset_.episode_count = cp.episode_count;
+    dataset_.measurements = cp.measurements;
+    rng_.restore(cp.rng_state);
+    server_rngs_.clear();
+    for (const auto& state : cp.server_rng_states) {
+      Rng r{0};
+      r.restore(state);
+      server_rngs_.push_back(r);
+    }
+    heap_ = cp.pending;
+    std::make_heap(heap_.begin(), heap_.end(), FiresLater{});
+    if (injector_.has_value()) {
+      // Routed state is a pure function of the inter-transition epoch, so
+      // advancing a fresh injector reproduces it exactly; a different epoch
+      // means the checkpoint was taken under a different fault plan.
+      injector_->advance_to(now_);
+      if (static_cast<std::uint64_t>(injector_->epoch()) != cp.injector_epoch) {
+        return mismatch("fault injector epoch");
+      }
+    } else if (cp.injector_epoch != 0) {
+      return mismatch("fault injector epoch without a fault plan");
+    }
+    return Status::ok();
+  }
+
+  // --- measurement -----------------------------------------------------------
+
   void measure(topo::HostId src, topo::HostId dst, SimTime t,
                std::int32_t episode) {
     if (fault_aware_) {
@@ -183,7 +370,7 @@ class Campaign {
   }
 
   void attempt(topo::HostId src, topo::HostId dst, SimTime first, SimTime t,
-               std::int32_t episode, int tried) {
+               std::int32_t episode, std::int32_t tried) {
     Measurement m;
     m.when = first;  // the logical measurement keeps its first-attempt time
     m.src = src;
@@ -200,10 +387,15 @@ class Campaign {
       const SimTime next = t + Duration::seconds(backoff_s);
       if (next < end_) {
         MetricsRegistry::global().count("meas.collector.probes_retried");
-        queue_.schedule_at(
-            next, [this, src, dst, first, episode, tried](SimTime when) {
-              attempt(src, dst, first, when, episode, tried + 1);
-            });
+        push_event(CampaignEvent{
+            .t = next,
+            .kind = CampaignEventKind::kRetry,
+            .a = src.value(),
+            .b = dst.value(),
+            .first = first,
+            .episode = episode,
+            .tried = tried + 1,
+        });
         return;
       }
     }
@@ -213,59 +405,39 @@ class Campaign {
     dataset_.measurements.push_back(std::move(m));
   }
 
+  // --- schedulers ------------------------------------------------------------
+  // Each draws its wait *before* pushing, exactly where the closure-based
+  // code drew it, so RNG stream positions stay byte-compatible.
+
   // UW1: per-server uniform schedule; target drawn from the target pool.
   // Interval ~ U[0, 2 * mean] (the paper notes this lacks the exponential
   // distribution's protection against anticipation).
   void schedule_server_probe(std::size_t server_idx, SimTime now) {
     Rng& server_rng = server_rngs_[server_idx];
-    const topo::HostId server = dataset_.hosts[server_idx];
     const double wait_s =
         server_rng.uniform(0.0, 2.0 * config_.mean_interval.total_seconds());
-    queue_.schedule_at(now + Duration::seconds(wait_s),
-                       [this, server_idx, server](SimTime t) {
-                         Rng& rng = server_rngs_[server_idx];
-                         topo::HostId target = server;
-                         while (target == server) {
-                           target = targets_[rng.index(targets_.size())];
-                         }
-                         measure(server, target, t, -1);
-                         schedule_server_probe(server_idx, t);
-                       });
-  }
-
-  void schedule_next_pair() {
-    const double wait_s =
-        rng_.exponential(config_.mean_interval.total_seconds());
-    queue_.schedule_after(Duration::seconds(wait_s), [this](SimTime t) {
-      const topo::HostId src =
-          dataset_.hosts[rng_.index(dataset_.hosts.size())];
-      topo::HostId dst = src;
-      while (dst == src) {
-        dst = targets_[rng_.index(targets_.size())];
-      }
-      measure(src, dst, t, -1);
-      schedule_next_pair();
+    push_event(CampaignEvent{
+        .t = now + Duration::seconds(wait_s),
+        .kind = CampaignEventKind::kServerProbe,
+        .a = static_cast<std::int32_t>(server_idx),
     });
   }
 
-  void schedule_next_episode() {
+  void schedule_next_pair(SimTime now) {
     const double wait_s =
         rng_.exponential(config_.mean_interval.total_seconds());
-    queue_.schedule_after(Duration::seconds(wait_s), [this](SimTime t) {
-      const std::int32_t episode = dataset_.episode_count++;
-      // Every ordered pair, spread across the episode window.
-      for (const topo::HostId src : dataset_.hosts) {
-        for (const topo::HostId dst : dataset_.hosts) {
-          if (src == dst) continue;
-          const double offset_s =
-              rng_.uniform(0.0, config_.episode_window.total_seconds());
-          queue_.schedule_at(t + Duration::seconds(offset_s),
-                             [this, src, dst, episode](SimTime when) {
-                               measure(src, dst, when, episode);
-                             });
-        }
-      }
-      schedule_next_episode();
+    push_event(CampaignEvent{
+        .t = now + Duration::seconds(wait_s),
+        .kind = CampaignEventKind::kNextPair,
+    });
+  }
+
+  void schedule_next_episode(SimTime now) {
+    const double wait_s =
+        rng_.exponential(config_.mean_interval.total_seconds());
+    push_event(CampaignEvent{
+        .t = now + Duration::seconds(wait_s),
+        .kind = CampaignEventKind::kNextEpisode,
     });
   }
 
@@ -274,13 +446,16 @@ class Campaign {
   Rng rng_;
   HostAvailability availability_;
   SimTime end_;
-  sim::EventQueue queue_;
   Dataset dataset_;
   std::vector<topo::HostId> targets_;
   std::vector<Rng> server_rngs_;
   const sim::FaultPlan* plan_ = nullptr;           // null when disabled
   std::optional<sim::FaultInjector> injector_;     // engaged iff plan_
   bool fault_aware_ = false;
+
+  std::vector<CampaignEvent> heap_;  // min-heap by (t, seq) via FiresLater
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = SimTime::start();
 };
 
 }  // namespace
@@ -288,7 +463,19 @@ class Campaign {
 Dataset collect(const sim::Network& network, std::vector<topo::HostId> hosts,
                 const CollectorConfig& config, std::string name) {
   Campaign campaign{network, std::move(hosts), config, std::move(name)};
-  return campaign.run();
+  Result<Dataset> result = campaign.run(CollectControls{}, nullptr);
+  PATHSEL_EXPECT(result.is_ok(), "uncancellable collect() failed");
+  return std::move(result.value());
+}
+
+Result<Dataset> collect_resumable(const sim::Network& network,
+                                  std::vector<topo::HostId> hosts,
+                                  const CollectorConfig& config,
+                                  std::string name,
+                                  const CollectControls& controls,
+                                  const CampaignCheckpoint* resume) {
+  Campaign campaign{network, std::move(hosts), config, std::move(name)};
+  return campaign.run(controls, resume);
 }
 
 }  // namespace pathsel::meas

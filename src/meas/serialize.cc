@@ -54,31 +54,36 @@ void write_dataset(std::ostream& os, const Dataset& dataset) {
   for (const auto h : dataset.hosts) os << ' ' << h.value();
   os << '\n';
 
-  os.precision(17);
   for (const auto& m : dataset.measurements) {
-    os << "m " << m.when.since_start().total_millis() << ' ' << m.src.value()
-       << ' ' << m.dst.value() << ' ' << m.episode << ' '
-       << (m.completed ? 1 : 0);
-    if (dataset.kind == MeasurementKind::kTraceroute) {
-      for (const auto& s : m.samples) {
-        os << ' ' << (s.lost ? 1 : 0) << ' ' << s.rtt_ms;
-      }
-      os << ' ' << m.as_path.size();
-      for (const auto as : m.as_path) os << ' ' << as.value();
-    } else {
-      os << ' ' << m.bandwidth_kBps << ' ' << m.tcp_rtt_ms << ' '
-         << m.tcp_loss_rate;
-    }
-    // Fault-aware extras; omitted at their defaults so fault-free datasets
-    // keep the historical byte stream.
-    if (m.failure != FailureReason::kNone) {
-      os << " f " << static_cast<int>(m.failure);
-    }
-    if (m.attempts > 1) {
-      os << " a " << static_cast<int>(m.attempts);
-    }
-    os << '\n';
+    write_measurement(os, m, dataset.kind);
   }
+}
+
+void write_measurement(std::ostream& os, const Measurement& m,
+                       MeasurementKind kind) {
+  os.precision(17);
+  os << "m " << m.when.since_start().total_millis() << ' ' << m.src.value()
+     << ' ' << m.dst.value() << ' ' << m.episode << ' '
+     << (m.completed ? 1 : 0);
+  if (kind == MeasurementKind::kTraceroute) {
+    for (const auto& s : m.samples) {
+      os << ' ' << (s.lost ? 1 : 0) << ' ' << s.rtt_ms;
+    }
+    os << ' ' << m.as_path.size();
+    for (const auto as : m.as_path) os << ' ' << as.value();
+  } else {
+    os << ' ' << m.bandwidth_kBps << ' ' << m.tcp_rtt_ms << ' '
+       << m.tcp_loss_rate;
+  }
+  // Fault-aware extras; omitted at their defaults so fault-free datasets
+  // keep the historical byte stream.
+  if (m.failure != FailureReason::kNone) {
+    os << " f " << static_cast<int>(m.failure);
+  }
+  if (m.attempts > 1) {
+    os << " a " << static_cast<int>(m.attempts);
+  }
+  os << '\n';
 }
 
 std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
@@ -177,6 +182,12 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
     }
   }
 
+  // Fault-aware campaigns (meas/collector with a FaultPlan or retries) stamp
+  // a reason onto every failed row; legacy fault-free campaigns stamp
+  // nothing.  Mixing the two within one file can only come from corruption
+  // (a torn rewrite, spliced runs), so it is rejected after the scan.
+  bool any_fault_token = false;
+  bool any_failed_without_reason = false;
   while (next_line()) {
     if (line.empty()) continue;
     std::istringstream ls{line};
@@ -187,116 +198,131 @@ std::optional<Dataset> read_dataset(std::istream& is, std::string* error) {
       return std::nullopt;
     }
     Measurement m;
-    std::int64_t when_ms = 0;
-    std::int32_t src = 0;
-    std::int32_t dst = 0;
-    int completed = 0;
-    if (!(ls >> when_ms >> src >> dst >> m.episode >> completed)) {
-      fail(error, "malformed measurement line: " + line);
+    if (!parse_measurement(line, ds.kind, &host_ids, m, error)) {
       return std::nullopt;
     }
-    if (when_ms < 0) {
-      fail(error, "negative measurement time: " + line);
-      return std::nullopt;
+    if (m.failure != FailureReason::kNone || m.attempts > 1) {
+      any_fault_token = true;
     }
-    if (!host_ids.contains(src) || !host_ids.contains(dst)) {
-      fail(error, "measurement references undeclared host: " + line);
-      return std::nullopt;
-    }
-    if (src == dst) {
-      fail(error, "measurement with src == dst: " + line);
-      return std::nullopt;
-    }
-    if (m.episode < -1 || completed < 0 || completed > 1) {
-      fail(error, "malformed measurement line: " + line);
-      return std::nullopt;
-    }
-    m.when = SimTime::at(Duration::millis(when_ms));
-    m.src = topo::HostId{src};
-    m.dst = topo::HostId{dst};
-    m.completed = completed != 0;
-    if (ds.kind == MeasurementKind::kTraceroute) {
-      for (auto& s : m.samples) {
-        int lost = 0;
-        if (!(ls >> lost >> s.rtt_ms)) {
-          fail(error, "malformed traceroute samples: " + line);
-          return std::nullopt;
-        }
-        if (lost < 0 || lost > 1 || !finite_nonneg(s.rtt_ms)) {
-          fail(error, "sample out of range: " + line);
-          return std::nullopt;
-        }
-        s.lost = lost != 0;
-      }
-      std::size_t as_count = 0;
-      if (!(ls >> as_count)) {
-        fail(error, "missing AS path length: " + line);
-        return std::nullopt;
-      }
-      if (as_count > kMaxAsPath) {
-        fail(error, "AS path length out of range: " + line);
-        return std::nullopt;
-      }
-      for (std::size_t i = 0; i < as_count; ++i) {
-        std::int32_t as = 0;
-        if (!(ls >> as)) {
-          fail(error, "AS path shorter than its count: " + line);
-          return std::nullopt;
-        }
-        if (as < 0) {
-          fail(error, "negative AS id: " + line);
-          return std::nullopt;
-        }
-        m.as_path.push_back(topo::AsId{as});
-      }
-    } else {
-      if (!(ls >> m.bandwidth_kBps >> m.tcp_rtt_ms >> m.tcp_loss_rate)) {
-        fail(error, "malformed transfer fields: " + line);
-        return std::nullopt;
-      }
-      if (!finite_nonneg(m.bandwidth_kBps) || !finite_nonneg(m.tcp_rtt_ms) ||
-          !finite_nonneg(m.tcp_loss_rate) || m.tcp_loss_rate > 1.0) {
-        fail(error, "transfer fields out of range: " + line);
-        return std::nullopt;
-      }
-    }
-    // Optional fault-aware tokens, each at most once, in any order.
-    bool saw_failure = false;
-    bool saw_attempts = false;
-    std::string token;
-    while (ls >> token) {
-      std::int64_t v = 0;
-      std::string arg;
-      if (!(ls >> arg) || !parse_i64(arg, v)) {
-        fail(error, "malformed trailing token: " + line);
-        return std::nullopt;
-      }
-      if (token == "f" && !saw_failure) {
-        if (v < 1 || v >= static_cast<std::int64_t>(kFailureReasonCount)) {
-          fail(error, "failure reason out of range: " + line);
-          return std::nullopt;
-        }
-        if (m.completed) {
-          fail(error, "completed measurement with a failure reason: " + line);
-          return std::nullopt;
-        }
-        m.failure = static_cast<FailureReason>(v);
-        saw_failure = true;
-      } else if (token == "a" && !saw_attempts) {
-        if (v < 1 || v > 255) {
-          fail(error, "attempts out of range: " + line);
-          return std::nullopt;
-        }
-        m.attempts = static_cast<std::uint8_t>(v);
-        saw_attempts = true;
-      } else {
-        fail(error, "unexpected trailing token: " + line);
-        return std::nullopt;
-      }
+    if (!m.completed && m.failure == FailureReason::kNone) {
+      any_failed_without_reason = true;
     }
     ds.measurements.push_back(std::move(m));
   }
+  if (any_fault_token && any_failed_without_reason) {
+    fail(error,
+         "fault-aware dataset has failed measurements without a failure "
+         "reason (file mixes fault-aware and legacy rows)");
+    return std::nullopt;
+  }
   return ds;
+}
+
+bool parse_measurement(const std::string& line, MeasurementKind kind,
+                       const std::unordered_set<std::int32_t>* declared_hosts,
+                       Measurement& out, std::string* error) {
+  std::istringstream ls{line};
+  std::string tag;
+  ls >> tag;
+  if (tag != "m") {
+    return fail(error, "malformed measurement line: " + line);
+  }
+  Measurement m;
+  std::int64_t when_ms = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  int completed = 0;
+  if (!(ls >> when_ms >> src >> dst >> m.episode >> completed)) {
+    return fail(error, "malformed measurement line: " + line);
+  }
+  if (when_ms < 0) {
+    return fail(error, "negative measurement time: " + line);
+  }
+  if (declared_hosts != nullptr &&
+      (!declared_hosts->contains(src) || !declared_hosts->contains(dst))) {
+    return fail(error, "measurement references undeclared host: " + line);
+  }
+  if (src < 0 || dst < 0) {
+    return fail(error, "negative host id: " + line);
+  }
+  if (src == dst) {
+    return fail(error, "measurement with src == dst: " + line);
+  }
+  if (m.episode < -1 || completed < 0 || completed > 1) {
+    return fail(error, "malformed measurement line: " + line);
+  }
+  m.when = SimTime::at(Duration::millis(when_ms));
+  m.src = topo::HostId{src};
+  m.dst = topo::HostId{dst};
+  m.completed = completed != 0;
+  if (kind == MeasurementKind::kTraceroute) {
+    for (auto& s : m.samples) {
+      int lost = 0;
+      if (!(ls >> lost >> s.rtt_ms)) {
+        return fail(error, "malformed traceroute samples: " + line);
+      }
+      if (lost < 0 || lost > 1 || !finite_nonneg(s.rtt_ms)) {
+        return fail(error, "sample out of range: " + line);
+      }
+      s.lost = lost != 0;
+    }
+    std::size_t as_count = 0;
+    if (!(ls >> as_count)) {
+      return fail(error, "missing AS path length: " + line);
+    }
+    if (as_count > kMaxAsPath) {
+      return fail(error, "AS path length out of range: " + line);
+    }
+    for (std::size_t i = 0; i < as_count; ++i) {
+      std::int32_t as = 0;
+      if (!(ls >> as)) {
+        return fail(error, "AS path shorter than its count: " + line);
+      }
+      if (as < 0) {
+        return fail(error, "negative AS id: " + line);
+      }
+      m.as_path.push_back(topo::AsId{as});
+    }
+  } else {
+    if (!(ls >> m.bandwidth_kBps >> m.tcp_rtt_ms >> m.tcp_loss_rate)) {
+      return fail(error, "malformed transfer fields: " + line);
+    }
+    if (!finite_nonneg(m.bandwidth_kBps) || !finite_nonneg(m.tcp_rtt_ms) ||
+        !finite_nonneg(m.tcp_loss_rate) || m.tcp_loss_rate > 1.0) {
+      return fail(error, "transfer fields out of range: " + line);
+    }
+  }
+  // Optional fault-aware tokens, each at most once, in any order.
+  bool saw_failure = false;
+  bool saw_attempts = false;
+  std::string token;
+  while (ls >> token) {
+    std::int64_t v = 0;
+    std::string arg;
+    if (!(ls >> arg) || !parse_i64(arg, v)) {
+      return fail(error, "malformed trailing token: " + line);
+    }
+    if (token == "f" && !saw_failure) {
+      if (v < 1 || v >= static_cast<std::int64_t>(kFailureReasonCount)) {
+        return fail(error, "failure reason out of range: " + line);
+      }
+      if (m.completed) {
+        return fail(error, "completed measurement with a failure reason: " + line);
+      }
+      m.failure = static_cast<FailureReason>(v);
+      saw_failure = true;
+    } else if (token == "a" && !saw_attempts) {
+      if (v < 1 || v > 255) {
+        return fail(error, "attempts out of range: " + line);
+      }
+      m.attempts = static_cast<std::uint8_t>(v);
+      saw_attempts = true;
+    } else {
+      return fail(error, "unexpected trailing token: " + line);
+    }
+  }
+  out = std::move(m);
+  return true;
 }
 
 }  // namespace pathsel::meas

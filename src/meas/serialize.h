@@ -27,9 +27,11 @@
 // an error, never a crash or a partially filled dataset.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include "meas/dataset.h"
 
@@ -40,7 +42,29 @@ void write_dataset(std::ostream& os, const Dataset& dataset);
 
 /// Parses a dataset.  On failure returns nullopt and, if `error` is
 /// non-null, stores a human-readable reason.
+///
+/// Beyond per-row validation, the reader enforces a whole-file invariant:
+/// fault-aware campaigns record a failure reason on *every* failed row, so a
+/// file that mixes fault-aware markers (any `f`/`a` token) with failed rows
+/// lacking one is corrupt — most likely spliced from two different runs —
+/// and is rejected.  Legacy fault-free datasets carry neither token and are
+/// unaffected.
 [[nodiscard]] std::optional<Dataset> read_dataset(std::istream& is,
                                                   std::string* error = nullptr);
+
+/// Writes one measurement row (the full "m ..." line, newline included)
+/// exactly as write_dataset does.  Checkpoints embed pending measurements
+/// with this writer so a resumed campaign re-serializes byte-identically.
+void write_measurement(std::ostream& os, const Measurement& m,
+                       MeasurementKind kind);
+
+/// Parses one measurement row as written by write_measurement, with the same
+/// strict validation read_dataset applies.  `declared_hosts` (nullable)
+/// restricts src/dst to declared ids.  On failure returns false and, if
+/// `error` is non-null, stores a human-readable reason.
+[[nodiscard]] bool parse_measurement(
+    const std::string& line, MeasurementKind kind,
+    const std::unordered_set<std::int32_t>* declared_hosts, Measurement& out,
+    std::string* error = nullptr);
 
 }  // namespace pathsel::meas

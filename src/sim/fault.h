@@ -170,6 +170,13 @@ class FaultInjector {
   /// Routing-table rebuilds performed so far (tests and benches).
   [[nodiscard]] std::size_t rebuild_count() const noexcept { return rebuilds_; }
 
+  /// The inter-transition epoch routing currently sits in: the index of the
+  /// next plan transition not yet crossed.  Routed state is a pure function
+  /// of this epoch, so a fresh injector advanced to the same simulated time
+  /// reproduces the exact routing tables — the property checkpoint/resume
+  /// relies on (meas/checkpoint records the epoch to cross-check a resume).
+  [[nodiscard]] std::size_t epoch() const noexcept { return next_transition_; }
+
  private:
   void rebuild();
 

@@ -1,0 +1,116 @@
+#include "util/atomic_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pathsel {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status::error(ErrorCode::kIoError,
+                       what + " " + path + ": " + std::strerror(errno));
+}
+
+// fsync a path opened read-only (used for the containing directory, so the
+// rename itself is durable).  Best effort: some filesystems refuse directory
+// fsync; a failure there is not a torn file, so it is not fatal.
+void fsync_directory(const std::string& dir) noexcept {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+Status write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("cannot open", tmp);
+
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = io_error("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = io_error("cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    const Status s = io_error("cannot close", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = io_error("cannot rename over", path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  const auto slash = path.find_last_of('/');
+  fsync_directory(slash == std::string::npos ? std::string{"."}
+                                             : path.substr(0, slash));
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return io_error("cannot open", path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) return io_error("cannot read", path);
+  return buffer.str();
+}
+
+Status ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kIoError,
+                         "cannot create directory " + path + ": " + ec.message());
+  }
+  return Status::ok();
+}
+
+}  // namespace pathsel

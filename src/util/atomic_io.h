@@ -1,0 +1,41 @@
+// Crash-safe file primitives for checkpointing.
+//
+// A checkpoint that can be torn by the crash it exists to survive is worse
+// than none: a half-written file that parses as valid silently corrupts the
+// resumed campaign.  Two defenses, used together by meas/checkpoint:
+//
+//  1. write_file_atomic: write to `<path>.tmp`, fsync the file, rename over
+//     the destination, fsync the directory.  A crash at any instant leaves
+//     either the old complete file or the new complete file — never a mix.
+//  2. crc32: a checksum of the payload recorded in the manifest, so a file
+//     torn by other means (disk-full truncation, manual tampering, a torn
+//     tmp file left behind) is detected and discarded instead of parsed.
+//
+// The CRC is the standard reflected CRC-32 (IEEE 802.3, polynomial
+// 0xEDB88320), computed in software so it is identical on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pathsel {
+
+/// CRC-32 (IEEE) of the bytes, seeded with the conventional ~0 / final xor.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// Writes `contents` to `path` atomically: tmp file + fsync + rename +
+/// directory fsync.  On any failure the destination is untouched and the tmp
+/// file is removed (best effort).
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       std::string_view contents);
+
+/// Reads a whole file; kIoError if it cannot be opened or read.
+[[nodiscard]] Result<std::string> read_file(const std::string& path);
+
+/// Creates the directory (and parents) if missing; kIoError on failure.
+[[nodiscard]] Status ensure_directory(const std::string& path);
+
+}  // namespace pathsel

@@ -230,7 +230,13 @@ bool BenchReport::write_file(const std::string& path,
     return false;
   }
   write(os, metrics);
-  return os.good();
+  os.flush();
+  if (!os.good()) {
+    std::fprintf(stderr, "short write to %s: report is incomplete\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace pathsel

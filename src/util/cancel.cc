@@ -1,0 +1,82 @@
+#include "util/cancel.h"
+
+#include <csignal>
+
+#include "util/metrics.h"  // wall_clock_ns
+
+namespace pathsel {
+
+namespace {
+
+// The token signals are routed to.  A plain atomic pointer: the handler only
+// dereferences it for an atomic store, which is async-signal-safe.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+extern "C" void pathsel_cancel_signal_handler(int) {
+  if (CancelToken* token = g_signal_token.load(std::memory_order_acquire)) {
+    token->cancel(CancelReason::kSignal);
+  }
+}
+
+}  // namespace
+
+const char* to_string(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kRequested: return "cancelled";
+    case CancelReason::kDeadline: return "deadline exceeded";
+    case CancelReason::kSignal: return "interrupted by signal";
+    case CancelReason::kStall: return "stall watchdog tripped";
+  }
+  return "unknown";
+}
+
+void CancelToken::cancel(CancelReason reason) noexcept {
+  std::uint8_t expected = 0;
+  state_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+}
+
+void CancelToken::set_deadline_after_seconds(double seconds) noexcept {
+  if (seconds <= 0.0) {
+    cancel(CancelReason::kDeadline);
+    return;
+  }
+  deadline_ns_.store(
+      wall_clock_ns() + static_cast<std::uint64_t>(seconds * 1e9),
+      std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (state_.load(std::memory_order_acquire) != 0) return true;
+  const std::uint64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline != 0 && wall_clock_ns() >= deadline) {
+    std::uint8_t expected = 0;
+    state_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+    return true;
+  }
+  return false;
+}
+
+CancelReason CancelToken::reason() const noexcept {
+  return static_cast<CancelReason>(state_.load(std::memory_order_acquire));
+}
+
+Status CancelToken::status() const {
+  if (!cancelled()) return Status::ok();
+  const CancelReason why = reason();
+  return Status::error(why == CancelReason::kDeadline
+                           ? ErrorCode::kDeadlineExceeded
+                           : ErrorCode::kCancelled,
+                       to_string(why));
+}
+
+void CancelToken::arm_signal(int signo) noexcept {
+  g_signal_token.store(this, std::memory_order_release);
+  std::signal(signo, pathsel_cancel_signal_handler);
+}
+
+}  // namespace pathsel

@@ -1,0 +1,77 @@
+// Cooperative cancellation for long-running work.
+//
+// The paper's campaigns ran for weeks on machines that crashed, hung and hit
+// wall-clock limits; our harness needs the same work to be *boundable*.  A
+// CancelToken is a lock-free flag that long loops poll at natural drain
+// points (thread-pool chunk boundaries, collector events, per-episode
+// sweeps).  It can be tripped three ways:
+//
+//  - explicitly (cancel()), e.g. by the stall watchdog;
+//  - by a wall-clock deadline (set_deadline_after), checked lazily on each
+//    cancelled() call so no timer thread is needed;
+//  - by a POSIX signal (arm_signal), whose handler performs a single atomic
+//    store — the only async-signal-safe operation involved.
+//
+// Cancellation is advisory and cooperative: work already in flight finishes
+// its current chunk/event, partial results are discarded (or checkpointed by
+// the caller), and the cancellation surfaces as a Status through the normal
+// util/status.h plumbing — never as a killed thread or a torn data
+// structure.  All members are safe to call from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace pathsel {
+
+enum class CancelReason : std::uint8_t {
+  kNone = 0,      // not cancelled
+  kRequested,     // cancel() with no more specific cause
+  kDeadline,      // wall-clock deadline expired
+  kSignal,        // tripped from a signal handler (arm_signal)
+  kStall,         // tripped by the stall watchdog
+};
+
+[[nodiscard]] const char* to_string(CancelReason reason) noexcept;
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the token.  The first reason to arrive wins; later calls are
+  /// no-ops.  Async-signal-safe (a single atomic store/CAS).
+  void cancel(CancelReason reason = CancelReason::kRequested) noexcept;
+
+  /// Arms a wall-clock deadline `seconds` from now (monotonic clock).  The
+  /// token trips lazily: the first cancelled() call at or past the deadline
+  /// records CancelReason::kDeadline.  Seconds <= 0 trip immediately.
+  void set_deadline_after_seconds(double seconds) noexcept;
+
+  /// True once the token has tripped (checks the armed deadline first).
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  /// Why the token tripped; kNone while live.
+  [[nodiscard]] CancelReason reason() const noexcept;
+
+  /// ok() while live; otherwise kDeadlineExceeded (deadline) or kCancelled
+  /// (every other reason) with a human-readable message.
+  [[nodiscard]] Status status() const;
+
+  /// Routes `signo` (e.g. SIGINT, SIGTERM) to this token: the installed
+  /// handler trips it with CancelReason::kSignal.  The token must outlive
+  /// the arming (typically a main()-scoped token).  Arming a second token
+  /// replaces the first.
+  void arm_signal(int signo) noexcept;
+
+ private:
+  // 0 while live; a CancelReason once tripped.  mutable: cancelled() is
+  // logically const but may latch an expired deadline.
+  mutable std::atomic<std::uint8_t> state_{0};
+  std::atomic<std::uint64_t> deadline_ns_{0};  // 0: no deadline armed
+};
+
+}  // namespace pathsel

@@ -18,6 +18,15 @@ constexpr double kDefaultBoundsMs[] = {
 
 thread_local ScopedTimer* t_current_timer = nullptr;
 
+// Small sequential index identifying a thread in active-phase dumps; stable
+// for the thread's lifetime and far more readable than std::thread::id.
+std::uint64_t this_thread_index() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 }  // namespace
 
 std::uint64_t wall_clock_ns() noexcept {
@@ -123,6 +132,26 @@ void MetricsRegistry::record_phase(std::string_view name,
   p.child_wall_ns += child_wall_ns;
 }
 
+void MetricsRegistry::push_active_phase(std::uint64_t thread_index,
+                                        std::string_view phase) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  active_phases_[thread_index].emplace_back(phase);
+}
+
+void MetricsRegistry::pop_active_phase(std::uint64_t thread_index) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = active_phases_.find(thread_index);
+  if (it == active_phases_.end()) return;
+  if (!it->second.empty()) it->second.pop_back();
+  if (it->second.empty()) active_phases_.erase(it);
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<std::string>>>
+MetricsRegistry::active_phases() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return {active_phases_.begin(), active_phases_.end()};
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   const std::lock_guard<std::mutex> lock{mutex_};
@@ -151,6 +180,7 @@ ScopedTimer::ScopedTimer(std::string_view phase, MetricsRegistry& registry) {
   phase_ = phase;
   parent_ = t_current_timer;
   t_current_timer = this;
+  registry_->push_active_phase(this_thread_index(), phase_);
   start_cpu_ns_ = thread_cpu_ns();
   start_wall_ns_ = wall_clock_ns();
 }
@@ -161,6 +191,7 @@ ScopedTimer::~ScopedTimer() {
   const std::uint64_t cpu_now = thread_cpu_ns();
   const std::uint64_t cpu =
       cpu_now >= start_cpu_ns_ ? cpu_now - start_cpu_ns_ : 0;
+  registry_->pop_active_phase(this_thread_index());
   registry_->record_phase(phase_, wall, cpu, child_wall_ns_);
   if (parent_ != nullptr) parent_->child_wall_ns_ += wall;
   t_current_timer = parent_;

@@ -102,6 +102,14 @@ class MetricsRegistry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Live phase stacks: for every thread with at least one ScopedTimer open
+  /// right now, its stack of phase names outermost-first, keyed by a small
+  /// per-process thread index.  This is what the stall watchdog dumps to say
+  /// *where* a wedged executor is stuck, not just that it is.  Maintained by
+  /// ScopedTimer only while the registry is enabled.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::vector<std::string>>>
+  active_phases() const;
+
   /// Drops every entry (the enabled flag is unchanged).
   void reset();
 
@@ -117,6 +125,11 @@ class MetricsRegistry {
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, PhaseStat, std::less<>> phases_;
   std::map<std::string, HistogramStat, std::less<>> histograms_;
+
+  friend class ScopedTimer;
+  void push_active_phase(std::uint64_t thread_index, std::string_view phase);
+  void pop_active_phase(std::uint64_t thread_index);
+  std::map<std::uint64_t, std::vector<std::string>> active_phases_;
 };
 
 /// RAII wall/CPU timer for one named phase.  Nested timers on the same

@@ -9,6 +9,7 @@
 // implementations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -64,6 +65,19 @@ class Rng {
   /// Derives an independent child generator; `stream` disambiguates children
   /// with the same parent (e.g. per-host or per-link streams).
   [[nodiscard]] Rng fork(std::uint64_t stream) noexcept;
+
+  /// The full 256-bit generator state, for checkpointing.  restore() puts a
+  /// generator back at exactly that draw: the restored stream continues
+  /// bit-identically to the uninterrupted one.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void restore(const std::array<std::uint64_t, 4>& state) noexcept {
+    s_[0] = state[0];
+    s_[1] = state[1];
+    s_[2] = state[2];
+    s_[3] = state[3];
+  }
 
   /// Fisher-Yates shuffle of an index span.
   template <typename T>

@@ -10,6 +10,8 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kInvalidArgument: return "invalid argument";
     case ErrorCode::kInsufficientData: return "insufficient data";
     case ErrorCode::kDisconnected: return "disconnected";
+    case ErrorCode::kDeadlineExceeded: return "deadline exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "?";
 }

@@ -24,6 +24,8 @@ enum class ErrorCode : std::uint8_t {
   kInvalidArgument,    // caller-supplied option outside its domain
   kInsufficientData,   // dataset too sparse for the requested analysis
   kDisconnected,       // the measured graph cannot answer the question
+  kDeadlineExceeded,   // cancelled by a wall-clock deadline (util/cancel.h)
+  kCancelled,          // cancelled by request, signal, or the stall watchdog
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code) noexcept;

@@ -92,7 +92,15 @@ void ThreadPool::worker_loop(unsigned executor_index) {
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t chunk_size,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
+  const Status status = parallel_for(n, chunk_size, fn, nullptr);
+  PATHSEL_EXPECT(status.is_ok(), "uncancellable parallel_for cancelled");
+}
+
+Status ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const CancelToken* cancel) {
+  if (n == 0) return Status::ok();
   PATHSEL_EXPECT(chunk_size > 0, "parallel_for requires chunk_size > 0");
   const std::size_t chunks = chunk_count(n, chunk_size);
   const bool metered = MetricsRegistry::global().enabled();
@@ -107,17 +115,23 @@ void ThreadPool::parallel_for(
   };
 
   if (workers_.empty() || chunks == 1) {
-    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
-    return;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+      run_chunk(c);
+    }
+    return Status::ok();
   }
 
   // Executors claim chunk indices from a shared counter; which thread runs a
   // chunk affects nothing but timing because outputs are indexed by chunk.
+  // A tripped cancel token stops executors from claiming further chunks;
+  // chunks already claimed run to completion (drain at chunk boundaries).
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors(chunks);
   auto drain = [&] {
     for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
          c < chunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (cancel != nullptr && cancel->cancelled()) return;
       try {
         run_chunk(c);
       } catch (...) {
@@ -162,6 +176,8 @@ void ThreadPool::parallel_for(
   for (std::size_t c = 0; c < chunks; ++c) {
     if (errors[c]) std::rethrow_exception(errors[c]);
   }
+  if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+  return Status::ok();
 }
 
 }  // namespace pathsel

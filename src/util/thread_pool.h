@@ -24,6 +24,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.h"
+#include "util/status.h"
+
 namespace pathsel {
 
 /// Worker threads available on this machine; always >= 1.
@@ -79,6 +82,18 @@ class ThreadPool {
       std::size_t n, std::size_t chunk_size,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  /// Cancellable parallel_for: executors poll `cancel` before claiming each
+  /// chunk, so cancellation drains at chunk boundaries — chunks already in
+  /// flight complete, unclaimed chunks never start, and every enqueued helper
+  /// is joined before returning (no leaked tasks).  Returns cancel->status()
+  /// (kDeadlineExceeded or kCancelled) when the token tripped, in which case
+  /// an unspecified subset of chunks ran and the caller must discard partial
+  /// output; ok() when every chunk completed.  `cancel` may be null.
+  [[nodiscard]] Status parallel_for(
+      std::size_t n, std::size_t chunk_size,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      const CancelToken* cancel);
+
   /// Deterministic chunked map-reduce: maps each chunk [begin, end) to a
   /// std::vector<T> and concatenates the per-chunk vectors in chunk-index
   /// order, i.e. exactly the vector a serial in-order loop would build.
@@ -90,6 +105,32 @@ class ThreadPool {
                  [&](std::size_t begin, std::size_t end, std::size_t chunk) {
                    per_chunk[chunk] = map_fn(begin, end, chunk);
                  });
+    std::size_t total = 0;
+    for (const auto& v : per_chunk) total += v.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& v : per_chunk) {
+      out.insert(out.end(), std::make_move_iterator(v.begin()),
+                 std::make_move_iterator(v.end()));
+    }
+    return out;
+  }
+
+  /// Cancellable map_chunks: as above, but cancellation surfaces as a Status
+  /// and the partially merged output is discarded.
+  template <typename T, typename MapFn>
+  [[nodiscard]] Result<std::vector<T>> map_chunks(std::size_t n,
+                                                  std::size_t chunk_size,
+                                                  MapFn&& map_fn,
+                                                  const CancelToken* cancel) {
+    std::vector<std::vector<T>> per_chunk(chunk_count(n, chunk_size));
+    const Status status = parallel_for(
+        n, chunk_size,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          per_chunk[chunk] = map_fn(begin, end, chunk);
+        },
+        cancel);
+    if (!status.is_ok()) return status;
     std::size_t total = 0;
     for (const auto& v : per_chunk) total += v.size();
     std::vector<T> out;

@@ -1,0 +1,134 @@
+#include "util/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace pathsel {
+
+namespace {
+
+// Order-insensitive signature of "work has happened": total counter volume
+// plus the per-executor busy-time gauges.  Any completed chunk, probe, or
+// sweep row moves at least one term, so the signature is constant only when
+// nothing is finishing anywhere.
+std::uint64_t progress_signature(const MetricsSnapshot& snap) {
+  std::uint64_t sig = 0;
+  for (const auto& [name, value] : snap.counters) sig += value;
+  for (const auto& [name, value] : snap.gauges) {
+    sig += static_cast<std::uint64_t>(value * 1e3);  // busy ms -> us, integral
+  }
+  return sig;
+}
+
+void dump_stall_report(double stalled_for_s) {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  std::fprintf(stderr,
+               "pathsel watchdog: no progress for %.0f s; dumping state\n",
+               stalled_for_s);
+  for (const auto& [name, value] : snap.counters) {
+    std::fprintf(stderr, "  counter %s = %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::fprintf(stderr, "  gauge %s = %.3f\n", name.c_str(), value);
+  }
+  const auto stacks = MetricsRegistry::global().active_phases();
+  if (stacks.empty()) {
+    std::fprintf(stderr, "  no live phases (no ScopedTimer open)\n");
+  }
+  for (const auto& [thread_index, phases] : stacks) {
+    std::string stack;
+    for (const std::string& p : phases) {
+      if (!stack.empty()) stack += " > ";
+      stack += p;
+    }
+    std::fprintf(stderr, "  thread %llu: %s\n",
+                 static_cast<unsigned long long>(thread_index), stack.c_str());
+  }
+}
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start(const WatchdogConfig& config) {
+  if (running()) return;
+  config_ = config;
+  if (config_.poll_seconds <= 0) config_.poll_seconds = 1.0;
+  if (config_.stall_seconds < config_.poll_seconds) {
+    config_.stall_seconds = config_.poll_seconds;
+  }
+  MetricsRegistry::global().enable();
+  stopping_ = false;
+  thread_ = std::thread{[this] { monitor_loop(); }};
+}
+
+void Watchdog::stop() {
+  if (!running()) return;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::monitor_loop() {
+  std::uint64_t last_signature =
+      progress_signature(MetricsRegistry::global().snapshot());
+  std::uint64_t last_change_ns = wall_clock_ns();
+  bool reported = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      const auto wait = std::chrono::duration<double>{config_.poll_seconds};
+      if (wake_.wait_for(lock, wait, [this] { return stopping_; })) return;
+    }
+    const std::uint64_t sig =
+        progress_signature(MetricsRegistry::global().snapshot());
+    const std::uint64_t now_ns = wall_clock_ns();
+    if (sig != last_signature) {
+      last_signature = sig;
+      last_change_ns = now_ns;
+      reported = false;
+      continue;
+    }
+    const double stalled_for_s =
+        static_cast<double>(now_ns - last_change_ns) / 1e9;
+    if (stalled_for_s < config_.stall_seconds || reported) continue;
+    reported = true;  // one report per stall episode, not one per poll
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    dump_stall_report(stalled_for_s);
+    if (config_.trip != nullptr) {
+      std::fprintf(stderr, "pathsel watchdog: tripping cancellation\n");
+      config_.trip->cancel(CancelReason::kStall);
+    }
+  }
+}
+
+bool Watchdog::start_from_env(Watchdog& dog, CancelToken* token) {
+  if (!env_truthy("PATHSEL_WATCHDOG")) return false;
+  WatchdogConfig config;
+  if (const char* v = std::getenv("PATHSEL_WATCHDOG_STALL_S")) {
+    const double s = std::strtod(v, nullptr);
+    if (s > 0) config.stall_seconds = s;
+  }
+  if (env_truthy("PATHSEL_WATCHDOG_TRIP")) config.trip = token;
+  // Poll an order of magnitude faster than the stall window so detection
+  // latency stays a fraction of the window itself.
+  config.poll_seconds = std::min(1.0, config.stall_seconds / 10.0);
+  dog.start(config);
+  return true;
+}
+
+}  // namespace pathsel

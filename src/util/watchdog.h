@@ -1,0 +1,79 @@
+// Stall watchdog: liveness monitoring for long campaigns and sweeps.
+//
+// A wedged run (deadlocked pool, livelocked retry loop, runaway chunk) looks
+// exactly like a slow run from the outside.  The watchdog tells them apart by
+// watching the work actually flow: it samples a progress signature built from
+// the metrics counters and per-executor busy gauges (util/thread_pool records
+// both), and if the signature stops changing for `stall_seconds` it declares
+// a stall, dumps the counters, gauges, and live per-thread phase stacks to
+// stderr so the operator can see *where* each executor is stuck, and — when
+// configured with a CancelToken — trips it (CancelReason::kStall) so the run
+// aborts through the ordinary cancellation path instead of hanging forever.
+//
+// The watchdog is opt-in and purely observational until it trips: it never
+// touches campaign state, and it requires metrics to be enabled (it enables
+// the registry itself when started) because the signature is read from the
+// registry.  One monitor thread, condition-variable paced, joined in stop().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace pathsel {
+
+struct WatchdogConfig {
+  double poll_seconds = 1.0;    // sampling cadence
+  double stall_seconds = 30.0;  // no-progress window before declaring a stall
+  // Token tripped with CancelReason::kStall on stall; null means report-only
+  // (dump to stderr but let the run continue).
+  CancelToken* trip = nullptr;
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts the monitor thread.  Enables the global metrics registry (the
+  /// progress signature is derived from it).  No-op if already running.
+  void start(const WatchdogConfig& config);
+
+  /// Stops and joins the monitor thread.  Safe to call when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return thread_.joinable();
+  }
+
+  /// How many stalls this watchdog has declared since start().
+  [[nodiscard]] std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Reads PATHSEL_WATCHDOG / PATHSEL_WATCHDOG_STALL_S /
+  /// PATHSEL_WATCHDOG_TRIP and, when PATHSEL_WATCHDOG is set to a value
+  /// other than "0", starts `dog` accordingly (trip wired to `token` only if
+  /// PATHSEL_WATCHDOG_TRIP is set to a value other than "0").  Returns true
+  /// if the watchdog was started.
+  static bool start_from_env(Watchdog& dog, CancelToken* token);
+
+ private:
+  void monitor_loop();
+
+  WatchdogConfig config_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace pathsel

@@ -158,6 +158,56 @@ TEST(SerializeFuzz, FaultTokenAttacks) {
                   "failure reason on a completed measurement");
 }
 
+// Whole-file invariant: a file is either fault-aware (every failed row
+// carries its `f` reason) or legacy (no f/a tokens anywhere).  A file mixing
+// the two — fault tokens on some rows while other failed rows lack their
+// reason — is a splice of incompatible files and must be rejected, wherever
+// in the file the legacy row sits.
+TEST(SerializeFuzz, MixedFaultAwareAndLegacyRowsRejected) {
+  const std::string fault_aware_failed = "m 0 0 1 -1 0 0 1 0 1 0 1 0 f 2\n";
+  const std::string fault_aware_retried = "m 30 0 2 -1 1 0 1 0 1 0 1 0 a 2\n";
+  const std::string legacy_failed = "m 60 1 2 -1 0 0 1 0 1 0 1 0\n";
+
+  expect_rejected(std::string{kHeader} + fault_aware_failed + legacy_failed,
+                  "legacy failed row after a fault-aware row");
+  expect_rejected(std::string{kHeader} + legacy_failed + fault_aware_failed,
+                  "legacy failed row before a fault-aware row");
+  expect_rejected(std::string{kHeader} + fault_aware_retried + legacy_failed,
+                  "attempts token plus a reasonless failed row");
+}
+
+TEST(SerializeFuzz, HomogeneousFilesStayAccepted) {
+  // Fully legacy: failed rows without any tokens are the pre-fault format.
+  {
+    const std::string text = std::string{kHeader} +
+                             "m 0 0 1 -1 0 0 1 0 1 0 1 0\n"
+                             "m 60 1 2 -1 0 0 1 0 1 0 1 0\n";
+    std::stringstream ss{text};
+    std::string error;
+    EXPECT_TRUE(read_dataset(ss, &error).has_value()) << error;
+  }
+  // Fully fault-aware: every failed row carries its reason.
+  {
+    const std::string text = std::string{kHeader} +
+                             "m 0 0 1 -1 0 0 1 0 1 0 1 0 f 2\n"
+                             "m 30 0 2 -1 1 0 1 0 1 0 1 0 a 2\n"
+                             "m 60 1 2 -1 0 0 1 0 1 0 1 0 f 1\n";
+    std::stringstream ss{text};
+    std::string error;
+    EXPECT_TRUE(read_dataset(ss, &error).has_value()) << error;
+  }
+  // Fault-aware rows mixed with completed token-free rows are fine: a
+  // completed single-attempt row serializes without tokens in both formats.
+  {
+    const std::string text = std::string{kHeader} +
+                             "m 0 0 1 -1 1 0 1 0 1 0 1 0\n"
+                             "m 60 1 2 -1 0 0 1 0 1 0 1 0 f 3\n";
+    std::stringstream ss{text};
+    std::string error;
+    EXPECT_TRUE(read_dataset(ss, &error).has_value()) << error;
+  }
+}
+
 TEST(SerializeFuzz, ValidFaultTokensAccepted) {
   const std::string text =
       std::string{kHeader} + "m 0 0 1 -1 0 0 1 0 1 0 1 0 f 3 a 2\n";

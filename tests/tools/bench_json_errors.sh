@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# --json robustness for the bench harness: an unwritable report path must
+# fail fast at startup (before any measurement work runs) with a clear
+# diagnostic and a nonzero exit, and must not clobber a pre-existing report;
+# a writable path must still produce a report.
+set -u
+
+BENCH="${1:?usage: bench_json_errors.sh <bench-binary>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+export PATHSEL_BENCH_SCALE=0.05
+export PATHSEL_THREADS=1
+
+failures=0
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# Unwritable directory component: must fail immediately.
+start=$SECONDS
+"$BENCH" --json "$TMP/no-such-dir/report.json" \
+  > /dev/null 2> "$TMP/err" </dev/null
+rc=$?
+if [[ "$rc" == 0 ]]; then
+  fail "unwritable --json path exited 0"
+fi
+grep -q "cannot open" "$TMP/err" \
+  || fail "no 'cannot open' diagnostic on stderr (got: $(cat "$TMP/err"))"
+if [[ "$((SECONDS - start))" -gt 5 ]]; then
+  fail "probe did not fail fast (took $((SECONDS - start))s)"
+fi
+
+# A path that opens but cannot be written (/dev/full reports ENOSPC on
+# flush) passes the startup probe yet must still surface a short-write
+# diagnostic and a nonzero exit from the final report write.
+if [[ -w /dev/full ]]; then
+  "$BENCH" --json /dev/full > /dev/null 2> "$TMP/full.err" </dev/null
+  rc=$?
+  if [[ "$rc" == 0 ]]; then
+    fail "--json /dev/full exited 0 despite the failed report write"
+  fi
+  grep -q "short write" "$TMP/full.err" \
+    || fail "no short-write diagnostic (got: $(cat "$TMP/full.err"))"
+fi
+
+# Happy path: a writable target yields a report.
+"$BENCH" --json "$TMP/ok.json" > /dev/null 2>&1 </dev/null \
+  || fail "writable --json path exited nonzero"
+grep -q '"metrics":' "$TMP/ok.json" \
+  || fail "report at writable path is missing the metrics object"
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "$failures bench --json case(s) failed" >&2
+  exit 1
+fi
+echo "all bench --json error-path cases passed"

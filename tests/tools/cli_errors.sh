@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Exit-code contract for pathsel_cli: 0 ok, 1 data error, 2 usage,
-# 3 unreadable input, 4 parse error.  Every failure must also print a
-# one-line diagnostic on stderr.
+# 3 unreadable input, 4 parse error, 5 interrupted (deadline/signal).
+# Every failure must also print a one-line diagnostic on stderr.
 set -u
 
 CLI="${1:?usage: cli_errors.sh <path-to-pathsel_cli>}"
@@ -62,6 +62,34 @@ expect 0 "generate with faults" -- \
   --out "$TMP/faulted.ds"
 expect 0 "analyze faulted with coverage" -- \
   analyze --in "$TMP/faulted.ds" --metric rtt --min-samples 2 --coverage
+
+# Campaign / checkpoint / deadline flag contract.  An already-expired
+# deadline is an interruption (exit 5), not a usage error: the flags were
+# valid, the clock simply ran out before any work could happen.
+expect 2 "campaign missing --out-dir" -- campaign --datasets UW3
+expect 2 "campaign unknown dataset" -- \
+  campaign --out-dir "$TMP/camp" --datasets NOPE
+expect 2 "campaign empty dataset list" -- \
+  campaign --out-dir "$TMP/camp" --datasets ,
+expect 2 "resume without checkpoint dir" -- \
+  campaign --out-dir "$TMP/camp" --resume
+expect 2 "non-numeric deadline" -- \
+  campaign --out-dir "$TMP/camp" --deadline banana
+expect 2 "negative deadline" -- \
+  campaign --out-dir "$TMP/camp" --deadline -1
+expect 2 "checkpoint cadence of zero" -- \
+  campaign --out-dir "$TMP/camp" --checkpoint-every-hours 0
+expect 5 "campaign with expired deadline" -- \
+  campaign --out-dir "$TMP/camp" --datasets UW3 --scale 0.01 --deadline 0
+expect 5 "analyze with expired deadline" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --deadline 0
+expect 0 "small campaign round trip" -- \
+  campaign --out-dir "$TMP/camp" --checkpoint-dir "$TMP/camp.ck" \
+  --datasets UW3 --scale 0.01
+if [[ ! -f "$TMP/camp/UW3.ds" ]]; then
+  echo "FAIL: campaign did not write its dataset" >&2
+  failures=$((failures + 1))
+fi
 
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a

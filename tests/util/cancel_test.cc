@@ -1,0 +1,122 @@
+#include "util/cancel.h"
+
+#include <csignal>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pathsel {
+namespace {
+
+TEST(Cancel, FreshTokenIsLive) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  EXPECT_TRUE(token.status().is_ok());
+}
+
+TEST(Cancel, CancelTrips) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kRequested);
+  EXPECT_EQ(token.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(Cancel, FirstReasonWins) {
+  CancelToken token;
+  token.cancel(CancelReason::kStall);
+  token.cancel(CancelReason::kSignal);
+  EXPECT_EQ(token.reason(), CancelReason::kStall);
+}
+
+TEST(Cancel, ExpiredDeadlineTripsImmediately) {
+  CancelToken token;
+  token.set_deadline_after_seconds(0.0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_EQ(token.status().code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(Cancel, NegativeDeadlineTripsImmediately) {
+  CancelToken token;
+  token.set_deadline_after_seconds(-1.0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(Cancel, FutureDeadlineStartsLive) {
+  CancelToken token;
+  token.set_deadline_after_seconds(3600.0);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().is_ok());
+}
+
+TEST(Cancel, ShortDeadlineExpires) {
+  CancelToken token;
+  token.set_deadline_after_seconds(0.02);
+  // Checked lazily: poll until the deadline latches.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!token.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_EQ(token.status().code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(Cancel, ExplicitCancelBeatsPendingDeadline) {
+  CancelToken token;
+  token.set_deadline_after_seconds(3600.0);
+  token.cancel(CancelReason::kRequested);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kRequested);
+  EXPECT_EQ(token.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(Cancel, ArmedSignalTripsToken) {
+  CancelToken token;
+  token.arm_signal(SIGUSR1);
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kSignal);
+  EXPECT_EQ(token.status().code(), ErrorCode::kCancelled);
+  // Restore default disposition so a stray SIGUSR1 can't outlive the test.
+  std::signal(SIGUSR1, SIG_DFL);
+}
+
+TEST(Cancel, ReasonToString) {
+  EXPECT_STREQ(to_string(CancelReason::kNone), "none");
+  EXPECT_NE(to_string(CancelReason::kDeadline), nullptr);
+  EXPECT_NE(to_string(CancelReason::kSignal), nullptr);
+  EXPECT_NE(to_string(CancelReason::kStall), nullptr);
+}
+
+// Many threads race to cancel while others poll; exactly one reason wins and
+// every reader eventually observes the trip (run under TSan in CI).
+TEST(Cancel, ConcurrentCancelIsRaceFree) {
+  CancelToken token;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&token, i] {
+      token.cancel(i % 2 == 0 ? CancelReason::kRequested
+                              : CancelReason::kStall);
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&token] {
+      while (!token.cancelled()) std::this_thread::yield();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(token.cancelled());
+  const CancelReason reason = token.reason();
+  EXPECT_TRUE(reason == CancelReason::kRequested ||
+              reason == CancelReason::kStall);
+}
+
+}  // namespace
+}  // namespace pathsel

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -209,6 +210,162 @@ TEST(ThreadPool, ReusableAcrossManySweeps) {
       count += static_cast<int>(end - begin);
     });
     ASSERT_EQ(count, 64);
+  }
+}
+
+// --- cancellation ----------------------------------------------------------
+
+TEST(ThreadPool, NullTokenRunsToCompletion) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool{threads};
+    std::atomic<int> visited{0};
+    const Status st = pool.parallel_for(
+        100, 7,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          visited += static_cast<int>(end - begin);
+        },
+        nullptr);
+    EXPECT_TRUE(st.is_ok());
+    EXPECT_EQ(visited, 100);
+  }
+}
+
+TEST(ThreadPool, LiveTokenRunsToCompletion) {
+  CancelToken token;
+  ThreadPool pool{4};
+  std::atomic<int> visited{0};
+  const Status st = pool.parallel_for(
+      100, 7,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        visited += static_cast<int>(end - begin);
+      },
+      &token);
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(visited, 100);
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNoChunks) {
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    CancelToken token;
+    token.cancel();
+    ThreadPool pool{threads};
+    std::atomic<int> chunks{0};
+    const Status st = pool.parallel_for(
+        100, 10,
+        [&](std::size_t, std::size_t, std::size_t) { chunks += 1; }, &token);
+    EXPECT_EQ(st.code(), ErrorCode::kCancelled) << threads << " threads";
+    EXPECT_EQ(chunks, 0) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ExpiredDeadlineSurfacesDeadlineExceeded) {
+  CancelToken token;
+  token.set_deadline_after_seconds(0.0);
+  ThreadPool pool{4};
+  const Status st = pool.parallel_for(
+      100, 10, [](std::size_t, std::size_t, std::size_t) {}, &token);
+  EXPECT_EQ(st.code(), ErrorCode::kDeadlineExceeded);
+}
+
+// A chunk trips the token mid-sweep: in-flight chunks complete (every visited
+// index is visited exactly once — no torn chunk), unclaimed chunks never
+// start, the call returns the token's status, and the pool is immediately
+// reusable — i.e. every helper task drained instead of leaking.
+void check_mid_sweep_cancel(unsigned threads) {
+  CancelToken token;
+  ThreadPool pool{threads};
+  const std::size_t n = 10000;
+  const std::size_t chunk_size = 10;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v = 0;
+  std::atomic<int> chunks_run{0};
+  const Status st = pool.parallel_for(
+      n, chunk_size,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        chunks_run += 1;
+        if (chunk == 5) token.cancel();
+        for (std::size_t i = begin; i < end; ++i) visits[i] += 1;
+      },
+      &token);
+  EXPECT_EQ(st.code(), ErrorCode::kCancelled) << threads << " threads";
+  // Drained at a chunk boundary: some chunks ran, far from all of them, and
+  // no index was ever visited twice or torn mid-chunk.
+  EXPECT_GE(chunks_run, 1) << threads << " threads";
+  EXPECT_LT(chunks_run, static_cast<int>(n / chunk_size)) << threads
+                                                          << " threads";
+  for (std::size_t i = 0; i < n; i += chunk_size) {
+    int in_chunk = 0;
+    for (std::size_t j = i; j < i + chunk_size; ++j) {
+      ASSERT_LE(visits[j], 1) << "index " << j << " visited twice";
+      in_chunk += visits[j];
+    }
+    EXPECT_TRUE(in_chunk == 0 || in_chunk == static_cast<int>(chunk_size))
+        << "chunk at " << i << " was torn";
+  }
+
+  // No leaked tasks: the next sweep on the same pool covers everything.
+  std::atomic<int> after{0};
+  pool.parallel_for(64, 4, [&](std::size_t begin, std::size_t end,
+                               std::size_t) {
+    after += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(after, 64) << threads << " threads";
+}
+
+TEST(ThreadPool, CancelMidSweepDrainsAtChunkBoundary) {
+  for (const unsigned threads : {1u, 4u, 8u}) check_mid_sweep_cancel(threads);
+}
+
+TEST(ThreadPool, CancelFromAnotherThreadDrains) {
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    CancelToken token;
+    ThreadPool pool{threads};
+    std::atomic<int> chunks_run{0};
+    // The canceller fires once the sweep reports its first chunk, and every
+    // chunk holds until the trip is visible — no timing dependence, and the
+    // in-flight chunk count is bounded by the executor count.
+    std::thread canceller{[&] {
+      while (chunks_run.load() == 0) std::this_thread::yield();
+      token.cancel();
+    }};
+    const Status st = pool.parallel_for(
+        100000, 1,
+        [&](std::size_t, std::size_t, std::size_t) {
+          chunks_run += 1;
+          while (!token.cancelled()) std::this_thread::yield();
+        },
+        &token);
+    canceller.join();
+    EXPECT_EQ(st.code(), ErrorCode::kCancelled) << threads << " threads";
+    EXPECT_LE(chunks_run, static_cast<int>(threads) + 1)
+        << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, CancellableMapChunksDiscardsPartialOutput) {
+  for (const unsigned threads : {1u, 4u}) {
+    CancelToken token;
+    ThreadPool pool{threads};
+    const Result<std::vector<int>> cancelled = pool.map_chunks<int>(
+        1000, 10,
+        [&](std::size_t begin, std::size_t, std::size_t chunk)
+            -> std::vector<int> {
+          if (chunk == 3) token.cancel();
+          return {static_cast<int>(begin)};
+        },
+        &token);
+    ASSERT_FALSE(cancelled.is_ok());
+    EXPECT_EQ(cancelled.status().code(), ErrorCode::kCancelled);
+
+    // A live token leaves map_chunks bit-identical to the uncancellable one.
+    const Result<std::vector<int>> ok = pool.map_chunks<int>(
+        30, 10,
+        [](std::size_t begin, std::size_t, std::size_t) -> std::vector<int> {
+          return {static_cast<int>(begin)};
+        },
+        nullptr);
+    ASSERT_TRUE(ok.is_ok());
+    EXPECT_EQ(ok.value(), (std::vector<int>{0, 10, 20}));
   }
 }
 

@@ -1,0 +1,141 @@
+#include "util/watchdog.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace pathsel {
+namespace {
+
+// The watchdog reads progress from the global registry, so each test starts
+// from a clean, enabled slate and disables it again on exit.
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().enable();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().enable(false);
+  }
+
+  // Spins until `done` or the (generous) deadline; sanitizer runs are slow.
+  template <typename Pred>
+  static bool eventually(Pred done, double seconds = 30.0) {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double>(seconds);
+    while (!done()) {
+      if (std::chrono::steady_clock::now() > give_up) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+};
+
+TEST_F(WatchdogTest, StartStopLifecycle) {
+  Watchdog dog;
+  EXPECT_FALSE(dog.running());
+  dog.stop();  // stop before start is a no-op
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 60.0});
+  EXPECT_TRUE(dog.running());
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 60.0});  // second start: no-op
+  dog.stop();
+  EXPECT_FALSE(dog.running());
+  dog.stop();  // idempotent
+}
+
+TEST_F(WatchdogTest, DetectsStallAndTripsToken) {
+  CancelToken token;
+  Watchdog dog;
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 0.05, .trip = &token});
+  // No metric moves, so the signature never changes: a stall must be
+  // declared and the token tripped with the stall reason.
+  ASSERT_TRUE(eventually([&] { return token.cancelled(); }));
+  EXPECT_EQ(token.reason(), CancelReason::kStall);
+  EXPECT_EQ(token.status().code(), ErrorCode::kCancelled);
+  EXPECT_GE(dog.stalls_detected(), 1u);
+  dog.stop();
+}
+
+TEST_F(WatchdogTest, ReportOnlyWithoutToken) {
+  Watchdog dog;
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 0.05});
+  ASSERT_TRUE(eventually([&] { return dog.stalls_detected() >= 1; }));
+  dog.stop();
+}
+
+TEST_F(WatchdogTest, ProgressSuppressesStall) {
+  CancelToken token;
+  Watchdog dog;
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 0.2, .trip = &token});
+  // Keep a counter moving for longer than the stall window: no stall.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(500);
+  while (std::chrono::steady_clock::now() < until) {
+    MetricsRegistry::global().count("watchdog_test.progress");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(dog.stalls_detected(), 0u);
+  EXPECT_FALSE(token.cancelled());
+  dog.stop();
+}
+
+TEST_F(WatchdogTest, OneReportPerStallEpisode) {
+  Watchdog dog;
+  dog.start({.poll_seconds = 0.01, .stall_seconds = 0.05});
+  ASSERT_TRUE(eventually([&] { return dog.stalls_detected() >= 1; }));
+  // Stay stalled for several more windows: the episode latch holds at one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+  // New progress re-arms the latch; a fresh stall is a second episode.
+  MetricsRegistry::global().count("watchdog_test.progress");
+  ASSERT_TRUE(eventually([&] { return dog.stalls_detected() >= 2; }));
+  dog.stop();
+}
+
+TEST_F(WatchdogTest, StartFromEnvHonoursKnobs) {
+  CancelToken token;
+  {
+    Watchdog dog;
+    ASSERT_EQ(unsetenv("PATHSEL_WATCHDOG"), 0);
+    EXPECT_FALSE(Watchdog::start_from_env(dog, &token));
+    EXPECT_FALSE(dog.running());
+  }
+  {
+    Watchdog dog;
+    ASSERT_EQ(setenv("PATHSEL_WATCHDOG", "0", 1), 0);
+    EXPECT_FALSE(Watchdog::start_from_env(dog, &token));
+  }
+  {
+    Watchdog dog;
+    ASSERT_EQ(setenv("PATHSEL_WATCHDOG", "1", 1), 0);
+    ASSERT_EQ(setenv("PATHSEL_WATCHDOG_STALL_S", "0.05", 1), 0);
+    ASSERT_EQ(setenv("PATHSEL_WATCHDOG_TRIP", "1", 1), 0);
+    EXPECT_TRUE(Watchdog::start_from_env(dog, &token));
+    EXPECT_TRUE(dog.running());
+    ASSERT_TRUE(eventually([&] { return token.cancelled(); }));
+    EXPECT_EQ(token.reason(), CancelReason::kStall);
+    dog.stop();
+  }
+  {
+    // Without PATHSEL_WATCHDOG_TRIP the watchdog only reports.
+    CancelToken quiet;
+    Watchdog dog;
+    ASSERT_EQ(setenv("PATHSEL_WATCHDOG_TRIP", "0", 1), 0);
+    EXPECT_TRUE(Watchdog::start_from_env(dog, &quiet));
+    ASSERT_TRUE(eventually([&] { return dog.stalls_detected() >= 1; }));
+    EXPECT_FALSE(quiet.cancelled());
+    dog.stop();
+  }
+  ASSERT_EQ(unsetenv("PATHSEL_WATCHDOG"), 0);
+  ASSERT_EQ(unsetenv("PATHSEL_WATCHDOG_STALL_S"), 0);
+  ASSERT_EQ(unsetenv("PATHSEL_WATCHDOG_TRIP"), 0);
+}
+
+}  // namespace
+}  // namespace pathsel

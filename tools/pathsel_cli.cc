@@ -9,12 +9,28 @@
 //       Print a dataset's characteristics (its Table 1 row).
 //   pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth
 //                       [--min-samples N] [--one-hop] [--csv] [--coverage]
-//                       [--threads N]
+//                       [--threads N] [--deadline SEC]
 //       Run the alternate-path analysis on a saved dataset.  --threads
 //       defaults to the hardware thread count (or $PATHSEL_THREADS); the
 //       results are bit-identical for every value.  --coverage appends a
 //       graceful-degradation summary of how much of the mesh backed the
 //       results.
+//   pathsel_cli campaign --out-dir DIR [--datasets A,B,...] [--scale S]
+//                        [--seed N] [--faults F] [--fault-seed N]
+//                        [--checkpoint-dir DIR] [--resume]
+//                        [--checkpoint-every-hours H] [--deadline SEC]
+//       Regenerate a set of datasets (all of Table 1 by default) into DIR
+//       with crash safety: with --checkpoint-dir each in-flight dataset is
+//       periodically checkpointed (atomically, CRC-checked), and --resume
+//       continues an interrupted campaign from the newest valid checkpoint,
+//       producing byte-identical outputs to an uninterrupted run.
+//
+// Long-running commands (campaign, analyze) honour --deadline SEC and
+// SIGINT/SIGTERM: the run drains cooperatively at the next chunk/event
+// boundary, a campaign writes a final checkpoint, and the process exits 5.
+// Setting PATHSEL_WATCHDOG=1 starts a stall watchdog (poll cadence derived
+// from PATHSEL_WATCHDOG_STALL_S, default 30s); with PATHSEL_WATCHDOG_TRIP=1
+// a detected stall also cancels the run.
 //
 // Every command also accepts --metrics[=table|json]: enables the metrics
 // registry for the run and dumps its snapshot to stderr on exit.  Metrics
@@ -22,9 +38,12 @@
 //
 // Exit codes: 0 success; 1 data error (dataset cannot support the request);
 // 2 usage error (unknown command/flag, missing or malformed value);
-// 3 input file unreadable; 4 dataset fails to parse.
+// 3 input file unreadable; 4 dataset fails to parse; 5 interrupted
+// (deadline, signal, or watchdog — campaigns leave a valid checkpoint).
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +52,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/alternate.h"
 #include "core/bandwidth.h"
@@ -40,11 +60,14 @@
 #include "core/coverage.h"
 #include "core/figures.h"
 #include "core/path_table.h"
+#include "meas/campaign.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
 #include "util/bench_report.h"
+#include "util/cancel.h"
 #include "util/metrics.h"
 #include "util/table.h"
+#include "util/watchdog.h"
 
 namespace {
 
@@ -56,7 +79,27 @@ enum ExitCode : int {
   kExitUsage = 2,
   kExitUnreadable = 3,
   kExitParseError = 4,
+  kExitInterrupted = 5,
 };
+
+// Main()-scoped cancellation shared by the long-running commands: trips on
+// --deadline, SIGINT/SIGTERM, or the watchdog.
+CancelToken g_cancel;
+
+// Maps a failed Status to the documented exit-code contract.
+int exit_code_for(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kCancelled:
+      return kExitInterrupted;
+    case ErrorCode::kIoError:
+      return kExitUnreadable;
+    case ErrorCode::kParseError:
+      return kExitParseError;
+    default:
+      return kExitDataError;
+  }
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -66,12 +109,17 @@ int usage() {
                "  pathsel_cli info --in FILE\n"
                "  pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth\n"
                "                      [--min-samples N] [--one-hop] [--csv]\n"
-               "                      [--coverage] [--threads N]\n"
+               "                      [--coverage] [--threads N] [--deadline SEC]\n"
+               "  pathsel_cli campaign --out-dir DIR [--datasets A,B,...]\n"
+               "                       [--scale S] [--seed N] [--faults F]\n"
+               "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
+               "                       [--resume] [--checkpoint-every-hours H]\n"
+               "                       [--deadline SEC]\n"
                "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
                "--threads defaults to the hardware thread count\n"
                "--metrics[=table|json] dumps run metrics to stderr on exit\n"
                "exit codes: 0 ok, 1 data error, 2 usage, 3 unreadable file,\n"
-               "            4 parse error\n");
+               "            4 parse error, 5 interrupted (deadline/signal)\n");
   return kExitUsage;
 }
 
@@ -169,6 +217,122 @@ bool flag_double(const FlagMap& flags, const char* key, double lo, double hi,
   }
   out = v;
   return true;
+}
+
+// Arms g_cancel with the --deadline value when present (seconds of wall
+// clock; 0 trips immediately).
+bool arm_deadline(const FlagMap& flags) {
+  double deadline = 0.0;
+  if (!flag_double(flags, "deadline", 0.0, 1e9, deadline)) return false;
+  if (flags.contains("deadline")) {
+    g_cancel.set_deadline_after_seconds(deadline);
+  }
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int cmd_campaign(const FlagMap& flags) {
+  const auto out_dir = flags.find("out-dir");
+  if (out_dir == flags.end()) {
+    std::fprintf(stderr, "campaign needs --out-dir\n");
+    return kExitUsage;
+  }
+  meas::CampaignOptions options;
+  options.output_dir = out_dir->second;
+  if (const auto it = flags.find("datasets"); it != flags.end()) {
+    options.datasets = split_csv(it->second);
+    if (options.datasets.empty()) {
+      std::fprintf(stderr, "--datasets needs at least one name\n");
+      return kExitUsage;
+    }
+    for (const std::string& name : options.datasets) {
+      if (!meas::Catalog::is_dataset_name(name)) {
+        std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+        return kExitUsage;
+      }
+    }
+  }
+  double scale = 1.0;
+  if (!flag_double(flags, "scale", 1e-6, 1.0, scale)) return kExitUsage;
+  options.catalog.scale = scale;
+  if (!flag_u64(flags, "seed", options.catalog.seed)) return kExitUsage;
+  if (!flag_double(flags, "faults", 0.0, 1.0,
+                   options.catalog.fault_intensity)) {
+    return kExitUsage;
+  }
+  if (!flag_u64(flags, "fault-seed", options.catalog.fault_seed)) {
+    return kExitUsage;
+  }
+  if (const auto it = flags.find("checkpoint-dir"); it != flags.end()) {
+    options.checkpoint_dir = it->second;
+  }
+  options.resume = flags.contains("resume");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return kExitUsage;
+  }
+  double every_hours = 0.0;
+  if (!flag_double(flags, "checkpoint-every-hours", 1e-9, 1e9, every_hours)) {
+    return kExitUsage;
+  }
+  if (flags.contains("checkpoint-every-hours")) {
+    options.checkpoint_interval = Duration::hours(every_hours);
+  }
+  if (!arm_deadline(flags)) return kExitUsage;
+  options.cancel = &g_cancel;
+
+  // PATHSEL_TEST_CRASH_AFTER=N hard-kills the process (SIGKILL, no cleanup)
+  // right after the N-th checkpoint write; the kill-and-resume tests use it
+  // to simulate a machine crash at a reproducible instant.
+  if (const char* crash_env = std::getenv("PATHSEL_TEST_CRASH_AFTER")) {
+    const long crash_after = std::strtol(crash_env, nullptr, 10);
+    if (crash_after > 0) {
+      options.after_checkpoint = [crash_after](std::size_t writes) {
+        if (writes >= static_cast<std::size_t>(crash_after)) {
+          std::raise(SIGKILL);
+        }
+      };
+    }
+  }
+
+  const meas::CampaignReport report = meas::run_campaign(options);
+  for (const std::string& note : report.notes) {
+    std::fprintf(stderr, "%s\n", note.c_str());
+  }
+  for (const std::string& name : report.loaded) {
+    std::printf("kept %s (finished in a previous run)\n", name.c_str());
+  }
+  for (const std::string& name : report.completed) {
+    const bool resumed = std::find(report.resumed.begin(),
+                                   report.resumed.end(),
+                                   name) != report.resumed.end();
+    std::printf("wrote %s%s\n", name.c_str(),
+                resumed ? " (resumed from checkpoint)" : "");
+  }
+  if (!report.status.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status.to_string().c_str());
+    if (!report.stopped_in.empty()) {
+      std::fprintf(stderr, "interrupted in %s%s\n", report.stopped_in.c_str(),
+                   options.checkpoint_dir.empty() ? ""
+                                                  : "; checkpoint written");
+    }
+    return exit_code_for(report.status);
+  }
+  return kExitOk;
 }
 
 int cmd_generate(const FlagMap& flags) {
@@ -316,6 +480,8 @@ int cmd_analyze(const FlagMap& flags) {
   }
   build.min_samples = static_cast<int>(min_samples);
   build.threads = static_cast<int>(threads);
+  if (!arm_deadline(flags)) return kExitUsage;
+  build.cancel = &g_cancel;
 
   meas::Dataset ds;
   if (const int rc = load(flags, ds); rc != kExitOk) return rc;
@@ -325,7 +491,12 @@ int cmd_analyze(const FlagMap& flags) {
       std::fprintf(stderr, "bandwidth analysis needs a tcp dataset\n");
       return kExitDataError;
     }
-    const auto table = core::PathTable::build(ds, build);
+    const auto built = core::PathTable::build_checked(ds, build);
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "%s\n", built.status().to_string().c_str());
+      return exit_code_for(built.status());
+    }
+    const core::PathTable& table = built.value();
     std::printf("path graph: %zu measured paths over %zu hosts\n",
                 table.edges().size(), table.hosts().size());
     if (table.edges().empty()) {
@@ -350,19 +521,25 @@ int cmd_analyze(const FlagMap& flags) {
   analyze.metric = metric == "rtt" ? core::Metric::kRtt : core::Metric::kLoss;
   if (flags.contains("one-hop")) analyze.max_intermediate_hosts = 1;
   analyze.threads = static_cast<int>(threads);
+  analyze.cancel = &g_cancel;
 
   const auto result = core::analyze_with_coverage(ds, build, analyze);
   if (!result.is_ok()) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
-    return kExitDataError;
+    return exit_code_for(result.status());
   }
   const core::DegradedAnalysis& analysis = result.value();
   std::printf("path graph: %zu measured paths over %zu hosts\n",
               analysis.coverage.usable_edges, analysis.coverage.hosts);
   const auto& results = analysis.results;
   const auto cdf = core::improvement_cdf(results, static_cast<int>(threads));
-  const auto tally =
-      core::classify_significance(results, 0.95, static_cast<int>(threads));
+  const auto tally_checked = core::classify_significance_checked(
+      results, 0.95, static_cast<int>(threads), &g_cancel);
+  if (!tally_checked.is_ok()) {
+    std::fprintf(stderr, "%s\n", tally_checked.status().to_string().c_str());
+    return exit_code_for(tally_checked.status());
+  }
+  const core::SignificanceTally& tally = tally_checked.value();
   std::printf("pairs analyzed: %zu\n", results.size());
   std::printf("better alternate exists: %.0f%%\n",
               100.0 * cdf.fraction_above(0.0));
@@ -449,12 +626,34 @@ int main(int argc, char** argv) {
     }
     return with_metrics(flags, cmd_info);
   }
+  // The long-running commands drain cooperatively on Ctrl-C / TERM and can
+  // be liveness-monitored via PATHSEL_WATCHDOG (see the header comment).
+  const auto run_interruptible = [&flags](int (*cmd)(const FlagMap&)) {
+    g_cancel.arm_signal(SIGINT);
+    g_cancel.arm_signal(SIGTERM);
+    Watchdog dog;
+    Watchdog::start_from_env(dog, &g_cancel);
+    const int rc = with_metrics(flags, cmd);
+    dog.stop();
+    return rc;
+  };
   if (command == "analyze") {
-    if (!parse_flags(argc, argv, 2, {"in", "metric", "min-samples", "threads"},
+    if (!parse_flags(argc, argv, 2,
+                     {"in", "metric", "min-samples", "threads", "deadline"},
                      {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
-    return with_metrics(flags, cmd_analyze);
+    return run_interruptible(cmd_analyze);
+  }
+  if (command == "campaign") {
+    if (!parse_flags(argc, argv, 2,
+                     {"out-dir", "datasets", "scale", "seed", "faults",
+                      "fault-seed", "checkpoint-dir", "checkpoint-every-hours",
+                      "deadline"},
+                     {"resume"}, {"metrics"}, flags)) {
+      return kExitUsage;
+    }
+    return run_interruptible(cmd_campaign);
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return usage();
