@@ -1,0 +1,146 @@
+// Dense min-plus kernel vs. per-pair reference search.
+//
+// Sweeps the one-hop alternate-path analysis over seeded random meshes of
+// N ∈ {64, 128, 256, 512} hosts at edge densities 0.5 and 1.0, timing the
+// cache-blocked O(N³) min-plus kernel against the per-pair Bellman-Ford
+// reference (O(E) per pair, ~O(N⁴) on dense meshes), and re-checking that
+// both engines return bit-identical PairResult vectors — a speedup must
+// never come from a different answer.  PATHSEL_BENCH_SCALE < 1 trims the
+// upper end of the N sweep for quick CI runs.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "core/alternate.h"
+#include "core/dense_kernel.h"
+#include "core/path_table.h"
+#include "meas/dataset.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace pathsel;
+
+// A random mesh of `host_count` hosts where each pair is measured with
+// probability `density`; RTT levels from a seeded Rng, light random loss.
+meas::Dataset make_mesh(int host_count, double density, std::uint64_t seed) {
+  meas::Dataset ds;
+  ds.name = "dense-kernel-mesh";
+  ds.kind = meas::MeasurementKind::kTraceroute;
+  ds.duration = Duration::days(1);
+  for (int i = 0; i < host_count; ++i) ds.hosts.push_back(topo::HostId{i});
+  Rng rng{seed};
+  for (int i = 0; i < host_count; ++i) {
+    for (int j = i + 1; j < host_count; ++j) {
+      if (!rng.bernoulli(density)) continue;
+      const double base = rng.lognormal(4.0, 0.6);  // ~30-200 ms levels
+      for (int k = 0; k < 2; ++k) {
+        meas::Measurement m;
+        m.src = topo::HostId{i};
+        m.dst = topo::HostId{j};
+        m.completed = true;
+        for (auto& s : m.samples) {
+          s.lost = rng.bernoulli(0.02);
+          s.rtt_ms = base + rng.uniform(0.0, 5.0);
+        }
+        ds.measurements.push_back(std::move(m));
+      }
+    }
+  }
+  return ds;
+}
+
+template <typename Fn>
+double once_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool identical_results(const std::vector<core::PairResult>& a,
+                       const std::vector<core::PairResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b ||
+        a[i].default_value != b[i].default_value ||
+        a[i].alternate_value != b[i].alternate_value || a[i].via != b[i].via ||
+        a[i].alternate_estimate.mean != b[i].alternate_estimate.mean ||
+        a[i].alternate_estimate.var_of_mean !=
+            b[i].alternate_estimate.var_of_mean) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "dense_kernel")) return 2;
+  namespace bench = pathsel::bench;
+
+  const double scale = bench::bench_scale();
+  const auto max_n = static_cast<int>(512 * scale);
+
+  std::printf("==============================================================\n");
+  std::printf("dense_kernel: one-hop alternate sweep, min-plus vs. search\n");
+  std::printf("scale: %.2f (N sweep capped at %d); hardware threads: %u\n",
+              scale, max_n < 64 ? 64 : max_n, hardware_thread_count());
+  std::printf("==============================================================\n");
+
+  bench::notef(
+      "n,density,edges,pairs,search_ms,dense_ms,speedup,identical\n");
+  bool all_identical = true;
+  double worst_speedup_at_256_plus = -1.0;
+  for (const int n : {64, 128, 256, 512}) {
+    if (n > 64 && n > max_n) continue;  // PATHSEL_BENCH_SCALE trim
+    for (const double density : {0.5, 1.0}) {
+      const meas::Dataset ds =
+          make_mesh(n, density, 2024 + static_cast<std::uint64_t>(n));
+      core::BuildOptions build;
+      build.min_samples = 1;
+      const core::PathTable table = core::PathTable::build(ds, build);
+
+      core::AnalyzerOptions search_opt;
+      search_opt.max_intermediate_hosts = 1;
+      search_opt.kernel = core::Kernel::kSearch;
+      core::AnalyzerOptions dense_opt = search_opt;
+      dense_opt.kernel = core::Kernel::kDense;
+
+      std::vector<core::PairResult> search_results;
+      const double search_ms = once_ms([&] {
+        search_results = core::analyze_alternate_paths(table, search_opt);
+      });
+      std::vector<core::PairResult> dense_results;
+      const double dense_ms = once_ms([&] {
+        dense_results = core::analyze_alternate_paths(table, dense_opt);
+      });
+
+      const bool identical = identical_results(search_results, dense_results);
+      all_identical = all_identical && identical;
+      const double speedup = dense_ms > 0.0 ? search_ms / dense_ms : 0.0;
+      if (n >= 256 && (worst_speedup_at_256_plus < 0.0 ||
+                       speedup < worst_speedup_at_256_plus)) {
+        worst_speedup_at_256_plus = speedup;
+      }
+      bench::notef("%d,%.1f,%zu,%zu,%.2f,%.2f,%.2fx,%s\n", n, density,
+                   table.edges().size(), search_results.size(), search_ms,
+                   dense_ms, speedup, identical ? "yes" : "NO");
+    }
+  }
+  if (worst_speedup_at_256_plus < 0.0) {
+    bench::notef("\nsummary: N >= 256 trimmed at this scale; results %s\n",
+                 all_identical ? "bit-identical" : "DIVERGED");
+  } else {
+    bench::notef("\nsummary: dense kernel %s the search at N >= 256 "
+                 "(worst speedup %.2fx); results %s\n",
+                 worst_speedup_at_256_plus > 1.0 ? "beats" : "does not beat",
+                 worst_speedup_at_256_plus, all_identical ? "bit-identical"
+                                                          : "DIVERGED");
+  }
+  return pathsel::bench::finish() != 0 || !all_identical ? 1 : 0;
+}

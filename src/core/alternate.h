@@ -11,6 +11,7 @@
 // can classify every pair with a Welch t-test.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/path_table.h"
@@ -22,6 +23,21 @@ enum class Metric {
   kRtt,          // mean round-trip time, ms
   kLoss,         // mean loss rate, [0, 1]
   kPropagation,  // 10th-percentile RTT, ms (requires retained samples)
+};
+
+/// Which alternate-path engine runs the sweep.  Both produce bit-identical
+/// PairResult vectors wherever both apply (locked in by the differential
+/// test suite); they differ only in asymptotics.
+enum class Kernel {
+  /// Pick automatically: the dense min-plus kernel when the sweep is
+  /// one-hop-bounded and the table is dense enough for O(N^3) to beat the
+  /// per-pair search, the reference search otherwise.
+  kAuto,
+  /// Force the dense min-plus kernel (core/dense_kernel.h).  Requires
+  /// max_intermediate_hosts == 1; anything else aborts.
+  kDense,
+  /// Force the per-pair Dijkstra / Bellman-Ford reference search.
+  kSearch,
 };
 
 struct PairResult {
@@ -55,10 +71,12 @@ struct AnalyzerOptions {
   /// util::default_thread_count(), 1 forces the serial path.  Results are
   /// bit-identical for every thread count.
   int threads = 0;
-  /// Optional cancellation; polled before every sweep chunk.  Only the
-  /// _checked entry point honours it — analyze_alternate_paths() aborts on
-  /// cancellation.
+  /// Optional cancellation; polled before every sweep chunk (and at block
+  /// boundaries inside the dense kernel).  Only the _checked entry point
+  /// honours it — analyze_alternate_paths() aborts on cancellation.
   const CancelToken* cancel = nullptr;
+  /// Alternate-path engine selection (see Kernel).
+  Kernel kernel = Kernel::kAuto;
 };
 
 /// Computes the best alternate for every measured pair.  Pairs whose removal
@@ -72,8 +90,26 @@ struct AnalyzerOptions {
 [[nodiscard]] Result<std::vector<PairResult>> analyze_alternate_paths_checked(
     const PathTable& table, const AnalyzerOptions& options = {});
 
+/// Loss rates are clamped to this before composing or transforming, keeping
+/// the -log(1 - p) additive weight finite for (near-)totally lossy hops.
+inline constexpr double kMaxComposableLoss = 0.999;
+
 /// Metric value of an edge (the graph weight before any transform).
 [[nodiscard]] double edge_metric_value(const PathEdge& edge, Metric metric);
+
+/// Additive shortest-path weight of an edge: edge_metric_value() for RTT and
+/// propagation, -log(1 - min(p, kMaxComposableLoss)) for loss.  The per-pair
+/// search and the dense kernel both build their graphs through this one
+/// helper, so their edge weights can never diverge.
+[[nodiscard]] double edge_weight(const PathEdge& edge, Metric metric);
+
+/// Fills `out` from a reconstructed alternate path (edge sequence from a to
+/// b, intermediate hosts in `via`).  Shared by the search and dense kernels
+/// so both emit bit-identical PairResults for the same path.
+void finish_pair_result(const PathEdge& direct,
+                        std::span<const PathEdge* const> path_edges,
+                        std::vector<topo::HostId> via, Metric metric,
+                        PairResult& out);
 
 /// Composed metric value along a sequence of edges (additive for RTT and
 /// propagation; complement-product for loss).

@@ -1,0 +1,149 @@
+#include "core/dense_kernel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace pathsel::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Blocking geometry.  Rows are dealt out in fixed chunks of kRowChunk so the
+// cell a result lands in never depends on the thread count; within a chunk
+// the k loop is tiled by kKBlock so the tile of weight rows being relayed
+// through (kKBlock × N doubles) stays cache-resident across the chunk's
+// rows while best/via rows stream.
+constexpr std::size_t kRowChunk = 8;
+constexpr std::size_t kKBlock = 64;
+
+}  // namespace
+
+WeightMatrix build_weight_matrix(const PathTable& table, Metric metric) {
+  const ScopedTimer timer{"core.alternate.dense.build_matrix"};
+  WeightMatrix m;
+  m.n = table.hosts().size();
+  m.w.assign(m.n * m.n, kInf);
+  for (const PathEdge& e : table.edges()) {
+    const std::size_t i = table.host_index(e.a);
+    const std::size_t j = table.host_index(e.b);
+    const double weight = edge_weight(e, metric);
+    m.w[i * m.n + j] = weight;
+    m.w[j * m.n + i] = weight;
+  }
+  return m;
+}
+
+Result<MinPlusSquare> min_plus_square(const WeightMatrix& w, int threads,
+                                      const CancelToken* cancel) {
+  const ScopedTimer timer{"core.alternate.dense.min_plus"};
+  const std::size_t n = w.n;
+  PATHSEL_EXPECT(w.w.size() == n * n, "weight matrix shape mismatch");
+  MinPlusSquare out;
+  out.n = n;
+  out.best.assign(n * n, kInf);
+  out.via.assign(n * n, kNoRelay);
+
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
+  const Status status = pool.parallel_for(
+      n, kRowChunk,
+      [&](std::size_t row_begin, std::size_t row_end, std::size_t) {
+        for (std::size_t kk = 0; kk < n; kk += kKBlock) {
+          // Drain at block boundaries: the partial rows are discarded by the
+          // caller once the tripped token surfaces from parallel_for.
+          if (cancel != nullptr && cancel->cancelled()) return;
+          const std::size_t k_end = std::min(n, kk + kKBlock);
+          for (std::size_t i = row_begin; i < row_end; ++i) {
+            double* best_row = &out.best[i * n];
+            std::int32_t* via_row = &out.via[i * n];
+            for (std::size_t k = kk; k < k_end; ++k) {
+              const double w_ik = w.w[i * n + k];
+              if (w_ik == kInf) continue;  // also skips k == i
+              const double* w_k = &w.w[k * n];
+              // k ascends across and within blocks and the improvement is
+              // strict, so ties resolve to the smallest relay index.
+              for (std::size_t j = 0; j < n; ++j) {
+                const double cand = w_ik + w_k[j];
+                if (cand < best_row[j]) {
+                  best_row[j] = cand;
+                  via_row[j] = static_cast<std::int32_t>(k);
+                }
+              }
+            }
+          }
+        }
+      },
+      cancel);
+  if (!status.is_ok()) return status;
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (m.enabled()) {
+    m.count("core.alternate.kernel.cells", n * n);
+  }
+  return out;
+}
+
+bool dense_kernel_applicable(std::size_t hosts, std::size_t edges,
+                             const AnalyzerOptions& options) {
+  if (options.max_intermediate_hosts != 1) return false;
+  switch (options.kernel) {
+    case Kernel::kSearch:
+      return false;
+    case Kernel::kDense:
+      return true;
+    case Kernel::kAuto:
+      break;
+  }
+  if (hosts < kDenseMinHosts || hosts > kDenseMaxHosts) return false;
+  const double search_cost = 2.0 * static_cast<double>(edges) *
+                             static_cast<double>(edges);
+  const double kernel_cost = static_cast<double>(hosts) *
+                             static_cast<double>(hosts) *
+                             static_cast<double>(hosts);
+  return search_cost >= kDenseCostRatio * kernel_cost;
+}
+
+Result<std::vector<PairResult>> analyze_alternate_paths_dense(
+    const PathTable& table, const AnalyzerOptions& options) {
+  PATHSEL_EXPECT(options.max_intermediate_hosts == 1,
+                 "dense kernel requires max_intermediate_hosts == 1");
+  const WeightMatrix w = build_weight_matrix(table, options.metric);
+  Result<MinPlusSquare> squared =
+      min_plus_square(w, options.threads, options.cancel);
+  if (!squared.is_ok()) return squared.status();
+  const MinPlusSquare& mp = squared.value();
+
+  // Emit in edge order — the order the search sweep merges its chunks in —
+  // through the shared composition helpers, so the vector is bit-identical
+  // to the reference's.
+  const ScopedTimer timer{"core.alternate.dense.emit"};
+  const std::size_t n = mp.n;
+  std::vector<PairResult> results;
+  results.reserve(table.edges().size());
+  std::size_t polled = 0;
+  for (const PathEdge& direct : table.edges()) {
+    if (options.cancel != nullptr && (polled++ & 0x3ff) == 0 &&
+        options.cancel->cancelled()) {
+      return options.cancel->status();
+    }
+    const std::size_t i = table.host_index(direct.a);
+    const std::size_t j = table.host_index(direct.b);
+    const std::int32_t k = mp.via[i * n + j];
+    if (k == kNoRelay) continue;  // no relay host: removal disconnects
+    const topo::HostId relay = table.hosts()[static_cast<std::size_t>(k)];
+    const PathEdge* first = table.find(direct.a, relay);
+    const PathEdge* second = table.find(relay, direct.b);
+    PATHSEL_EXPECT(first != nullptr && second != nullptr,
+                   "arg-min relay lost its edges");
+    const PathEdge* path_edges[] = {first, second};
+    PairResult r;
+    finish_pair_result(direct, path_edges, {relay}, options.metric, r);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace pathsel::core

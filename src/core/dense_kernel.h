@@ -1,0 +1,97 @@
+// Dense min-plus alternate-path kernel.
+//
+// The paper's headline sweep (§4–§5) asks, for every measured pair (A, B),
+// for the best synthetic alternate path.  Restricted to one intermediate
+// host — where detour studies (Andersen et al., RON) place nearly all of the
+// win — the whole sweep collapses into a single algebraic object: the
+// min-plus square of the N×N edge-weight matrix,
+//
+//   best[i][j] = min_k  w[i][k] + w[k][j],
+//
+// computed for all pairs simultaneously with a cache-blocked O(N³) kernel
+// instead of one O(E)-per-round Bellman-Ford per pair (O(E²) total, ~O(N⁴)
+// on dense meshes).  Missing edges and the diagonal carry +inf, which makes
+// the algebra self-policing: k = i and k = j contribute inf, so no relay
+// degenerates to an endpoint, and a two-edge relay path i–k–j can never
+// contain the direct edge i–j, so — unlike the general search — the direct
+// edge needs no explicit exclusion.
+//
+// Determinism: the arg-min scans k in ascending host index with a strict
+// `<`, so among equal-cost relays the smallest host index wins — the same
+// tie-break the reference Bellman-Ford applies — and rows are partitioned
+// into fixed-size chunks, so results are bit-identical for every thread
+// count.  The differential suite (tests/core/dense_kernel_diff_test.cc)
+// locks the kernel to the reference search, pair for pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alternate.h"
+#include "core/path_table.h"
+
+namespace pathsel::core {
+
+/// Flat row-major N×N matrix of additive shortest-path weights (see
+/// edge_weight()): w[i*n + j] is the weight of the measured edge between
+/// hosts i and j, +inf where no edge survives the filters and on the
+/// diagonal.
+struct WeightMatrix {
+  std::size_t n = 0;
+  std::vector<double> w;
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept {
+    return w[i * n + j];
+  }
+};
+
+/// Builds the weight matrix for a metric from the table's surviving edges.
+[[nodiscard]] WeightMatrix build_weight_matrix(const PathTable& table,
+                                               Metric metric);
+
+/// via[] value for cells with no finite relay.
+inline constexpr std::int32_t kNoRelay = -1;
+
+/// One min-plus squaring of a weight matrix, with arg-min tracking:
+/// best[i*n+j] = min_k w[i][k] + w[k][j] and via[i*n+j] the smallest k
+/// attaining it (kNoRelay when every candidate is +inf).
+struct MinPlusSquare {
+  std::size_t n = 0;
+  std::vector<double> best;
+  std::vector<std::int32_t> via;
+};
+
+/// Computes the min-plus square with the blocked, chunk-parallel kernel.
+/// `threads` follows AnalyzerOptions::threads semantics; `cancel` (may be
+/// null) is polled at block boundaries and the partial result is discarded
+/// when it trips.  Output is bit-identical for every thread count.
+[[nodiscard]] Result<MinPlusSquare> min_plus_square(
+    const WeightMatrix& w, int threads = 0,
+    const CancelToken* cancel = nullptr);
+
+/// Auto-selection heuristic: whether the sweep described by `options` over a
+/// table of `hosts`/`edges` should run on the dense kernel.  Kernel::kSearch
+/// and multi-hop/unbounded sweeps always answer false; Kernel::kDense always
+/// answers true (one-hop only); Kernel::kAuto compares the estimated
+/// relaxation counts — ~2·E² for the per-pair search against ~N³ for the
+/// kernel — and switches once the search is kDenseCostRatio times more
+/// expensive, within the host-count guards below.
+[[nodiscard]] bool dense_kernel_applicable(std::size_t hosts,
+                                           std::size_t edges,
+                                           const AnalyzerOptions& options);
+
+/// Auto-selection guards: below kDenseMinHosts the matrix setup dominates;
+/// above kDenseMaxHosts the O(N²) footprint (two double matrices plus an
+/// int32 arg-min plane) is not worth trading for the search's O(N) memory.
+inline constexpr std::size_t kDenseMinHosts = 32;
+inline constexpr std::size_t kDenseMaxHosts = 8192;
+inline constexpr double kDenseCostRatio = 8.0;
+
+/// One-hop alternate analysis through the dense kernel.  Produces the same
+/// PairResult vector — same pairs, same order, same via, bit-identical
+/// values — as the reference search with max_intermediate_hosts == 1 (which
+/// the options must request; anything else aborts).
+[[nodiscard]] Result<std::vector<PairResult>> analyze_alternate_paths_dense(
+    const PathTable& table, const AnalyzerOptions& options);
+
+}  // namespace pathsel::core

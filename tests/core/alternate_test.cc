@@ -240,5 +240,49 @@ TEST(Alternate, ComposeEmptyAborts) {
   EXPECT_DEATH((void)compose_estimate({}, Metric::kRtt), "empty");
 }
 
+TEST(Alternate, BoundedSearchRespectsHopBudget) {
+  // Regression: the bounded Bellman-Ford used to keep a single parent array
+  // across rounds, so a later-round improvement of an intermediate node
+  // (here host 2, reached cheaply via 0-1-2) could splice an over-budget
+  // path into the one-hop reconstruction — reporting 0-1-2-3 (cost 3) for a
+  // sweep whose budget only allows 0-2-3 (cost 51).
+  auto ds = make_dataset(4);
+  add_invocations(ds, 0, 3, 100.0, 5);
+  add_invocations(ds, 0, 1, 1.0, 5);
+  add_invocations(ds, 1, 2, 1.0, 5);
+  add_invocations(ds, 2, 3, 1.0, 5);
+  add_invocations(ds, 0, 2, 50.0, 5);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+
+  AnalyzerOptions one_hop;
+  one_hop.max_intermediate_hosts = 1;
+  one_hop.kernel = Kernel::kSearch;
+  for (const auto& r : analyze_alternate_paths(table, one_hop)) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{3}) {
+      EXPECT_DOUBLE_EQ(r.alternate_value, 51.0);
+      ASSERT_EQ(r.via.size(), 1u);
+      EXPECT_EQ(r.via[0], topo::HostId{2});
+    }
+  }
+
+  AnalyzerOptions two_hop;
+  two_hop.max_intermediate_hosts = 2;
+  for (const auto& r : analyze_alternate_paths(table, two_hop)) {
+    if (r.a == topo::HostId{0} && r.b == topo::HostId{3}) {
+      EXPECT_DOUBLE_EQ(r.alternate_value, 3.0);
+      ASSERT_EQ(r.via.size(), 2u);
+      EXPECT_EQ(r.via[0], topo::HostId{1});
+      EXPECT_EQ(r.via[1], topo::HostId{2});
+    }
+  }
+}
+
+TEST(Alternate, DenseKernelRequiresOneHop) {
+  AnalyzerOptions bad;
+  bad.kernel = Kernel::kDense;  // max_intermediate_hosts left unbounded
+  EXPECT_DEATH((void)analyze_alternate_paths(triangle_table(), bad),
+               "max_intermediate_hosts");
+}
+
 }  // namespace
 }  // namespace pathsel::core

@@ -1,0 +1,255 @@
+// Property-based tests for metric composition (compose_metric /
+// compose_estimate / edge_weight).
+//
+// Rather than pinning a handful of hand-computed values, these tests state
+// the algebraic laws the paper's composition rules must satisfy — RTT adds;
+// loss combines as independent per-hop survival, so it is order-invariant,
+// monotone in every hop, and bounded by [max hop, 1]; the delta-method
+// variance is non-negative and collapses to zero for point estimates — and
+// then check them over seeded random edge sets.  Anything these laws flush
+// out is a composition bug, not a test artifact.
+#include "core/alternate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/path_table.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace pathsel::core {
+namespace {
+
+using test::add_invocation;
+using test::make_dataset;
+
+// Builds a chain 0-1-2-...-n of edges where edge i has roughly loss_rate[i]
+// loss and rtt levels rtt_ms[i], with `invocations` 3-sample invocations per
+// edge (invocations == 1 yields single-invocation "degraded" edges whose
+// loss summaries still hold 3 samples but whose RTT spread is one probe).
+PathTable chain_table(const std::vector<double>& rtt_ms,
+                      const std::vector<double>& loss_rate, int invocations,
+                      Rng& rng) {
+  EXPECT_EQ(rtt_ms.size(), loss_rate.size());
+  auto ds = make_dataset(static_cast<int>(rtt_ms.size()) + 1);
+  for (std::size_t e = 0; e < rtt_ms.size(); ++e) {
+    for (int v = 0; v < invocations; ++v) {
+      meas::Measurement m;
+      m.src = topo::HostId{static_cast<int>(e)};
+      m.dst = topo::HostId{static_cast<int>(e) + 1};
+      m.completed = true;
+      bool any_ok = false;
+      for (auto& s : m.samples) {
+        s.lost = rng.bernoulli(loss_rate[e]);
+        s.rtt_ms = rtt_ms[e] + rng.uniform(0.0, 2.0);
+        any_ok = any_ok || !s.lost;
+      }
+      if (!any_ok) m.samples[0].lost = false;
+      ds.measurements.push_back(std::move(m));
+    }
+  }
+  return PathTable::build(ds, test::min_samples(1));
+}
+
+// The chain's edges as a composable path 0 -> n.
+std::vector<const PathEdge*> chain_edges(const PathTable& table) {
+  std::vector<const PathEdge*> edges;
+  for (std::size_t e = 0; e + 1 <= table.hosts().size() - 1; ++e) {
+    const auto* edge = table.find(topo::HostId{static_cast<int>(e)},
+                                  topo::HostId{static_cast<int>(e) + 1});
+    EXPECT_NE(edge, nullptr);
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+TEST(ComposeProperties, RttIsTheSumOfHopMeans) {
+  Rng rng{31};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int hops = 2 + trial % 4;
+    std::vector<double> rtts, losses;
+    for (int e = 0; e < hops; ++e) {
+      rtts.push_back(rng.uniform(5.0, 200.0));
+      losses.push_back(0.0);
+    }
+    const auto table = chain_table(rtts, losses, 3, rng);
+    const auto edges = chain_edges(table);
+    double sum = 0.0;
+    for (const auto* e : edges) sum += edge_metric_value(*e, Metric::kRtt);
+    EXPECT_NEAR(compose_metric(edges, Metric::kRtt), sum, 1e-9);
+
+    // The composed estimate is the sum of the per-hop estimates.
+    const auto est = compose_estimate(edges, Metric::kRtt);
+    double mean_sum = 0.0, var_sum = 0.0;
+    for (const auto* e : edges) {
+      const auto one = stats::MeanEstimate::from_summary(e->rtt);
+      mean_sum += one.mean;
+      var_sum += one.var_of_mean;
+    }
+    EXPECT_NEAR(est.mean, mean_sum, 1e-9);
+    EXPECT_NEAR(est.var_of_mean, var_sum, 1e-12);
+  }
+}
+
+TEST(ComposeProperties, LossIsOrderInvariant) {
+  Rng rng{32};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int hops = 3 + trial % 3;
+    std::vector<double> rtts, losses;
+    for (int e = 0; e < hops; ++e) {
+      rtts.push_back(10.0);
+      losses.push_back(rng.uniform(0.0, 0.4));
+    }
+    const auto table = chain_table(rtts, losses, 4, rng);
+    auto edges = chain_edges(table);
+    const double forward = compose_metric(edges, Metric::kLoss);
+    std::reverse(edges.begin(), edges.end());
+    EXPECT_NEAR(compose_metric(edges, Metric::kLoss), forward, 1e-12);
+    // A rotation too, not just the mirror image.
+    std::rotate(edges.begin(), edges.begin() + 1, edges.end());
+    EXPECT_NEAR(compose_metric(edges, Metric::kLoss), forward, 1e-12);
+  }
+}
+
+TEST(ComposeProperties, LossIsBoundedAndMonotone) {
+  Rng rng{33};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int hops = 2 + trial % 4;
+    std::vector<double> rtts, losses;
+    for (int e = 0; e < hops; ++e) {
+      rtts.push_back(10.0);
+      losses.push_back(rng.uniform(0.0, 0.5));
+    }
+    const auto table = chain_table(rtts, losses, 4, rng);
+    const auto edges = chain_edges(table);
+
+    double max_hop = 0.0;
+    for (const auto* e : edges) {
+      max_hop = std::max(max_hop,
+                         std::min(edge_metric_value(*e, Metric::kLoss),
+                                  kMaxComposableLoss));
+    }
+    const double composed = compose_metric(edges, Metric::kLoss);
+    EXPECT_GE(composed, max_hop - 1e-12);  // never better than the worst hop
+    EXPECT_LE(composed, 1.0);
+
+    // Monotone per hop: every prefix loses no less than the one before it.
+    for (std::size_t k = 1; k <= edges.size(); ++k) {
+      const std::span<const PathEdge* const> prefix{edges.data(), k};
+      const std::span<const PathEdge* const> shorter{edges.data(), k - 1};
+      const double longer_loss = compose_metric(prefix, Metric::kLoss);
+      const double shorter_loss =
+          k == 1 ? 0.0 : compose_metric(shorter, Metric::kLoss);
+      EXPECT_GE(longer_loss, shorter_loss - 1e-12);
+    }
+  }
+}
+
+TEST(ComposeProperties, TotallyLossyHopStaysFiniteAndDominant) {
+  // A hop at 100% measured loss clamps to kMaxComposableLoss: the additive
+  // weight stays finite and the composed loss lands in [0.999, 1].  Under
+  // the D2 heuristic only the first sample counts toward loss, so an edge
+  // can measure total loss while still carrying the two RTT samples the
+  // build filter demands.
+  auto ds = make_dataset(3);
+  ds.first_sample_loss_only = true;
+  add_invocation(ds, 0, 1, {10.0, 10.0, 10.0});
+  for (int v = 0; v < 3; ++v) {
+    add_invocation(ds, 1, 2, {-1.0, 10.0, 10.0});  // counted sample lost
+  }
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto* lossy = table.find(topo::HostId{1}, topo::HostId{2});
+  ASSERT_NE(lossy, nullptr);
+  EXPECT_TRUE(std::isfinite(edge_weight(*lossy, Metric::kLoss)));
+
+  const auto edges = chain_edges(table);
+  const double composed = compose_metric(edges, Metric::kLoss);
+  EXPECT_GE(composed, kMaxComposableLoss - 1e-12);
+  EXPECT_LE(composed, 1.0);
+}
+
+TEST(ComposeProperties, EstimateVarianceIsNonNegative) {
+  Rng rng{35};
+  for (const Metric metric : {Metric::kRtt, Metric::kLoss}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const int hops = 2 + trial % 4;
+      std::vector<double> rtts, losses;
+      for (int e = 0; e < hops; ++e) {
+        rtts.push_back(rng.uniform(5.0, 100.0));
+        losses.push_back(rng.uniform(0.0, 0.3));
+      }
+      const auto table = chain_table(rtts, losses, 4, rng);
+      const auto est = compose_estimate(chain_edges(table), metric);
+      EXPECT_GE(est.var_of_mean, 0.0);
+      EXPECT_GE(est.dof_denom, 0.0);
+      EXPECT_TRUE(std::isfinite(est.mean));
+    }
+  }
+}
+
+TEST(ComposeProperties, EstimateMeanTracksComposedMetric) {
+  // For loss, compose_estimate's mean is the same complement-product the
+  // point value uses (the delta method linearises the variance, not the
+  // mean); for RTT both are plain sums.
+  Rng rng{36};
+  for (const Metric metric : {Metric::kRtt, Metric::kLoss}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<double> rtts{20.0, 40.0, 80.0};
+      std::vector<double> losses{0.1, 0.2, 0.05};
+      const auto table = chain_table(rtts, losses, 5, rng);
+      const auto edges = chain_edges(table);
+      EXPECT_NEAR(compose_estimate(edges, metric).mean,
+                  compose_metric(edges, metric), 1e-9);
+    }
+  }
+}
+
+TEST(ComposeProperties, PointEstimatesCarryZeroVariance) {
+  // Under the D2 heuristic (first_sample_loss_only) a single-invocation
+  // edge contributes exactly one loss observation.  There is no spread to
+  // propagate, so the composed estimate must degrade to a point value —
+  // zero variance and dof — not a negative or garbage one.
+  auto ds = make_dataset(3);
+  ds.first_sample_loss_only = true;
+  add_invocation(ds, 0, 1, {25.0, 25.0, 25.0});
+  add_invocation(ds, 1, 2, {-1.0, 30.0, 30.0});  // the counted sample: lost
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto edges = chain_edges(table);
+  ASSERT_EQ(edges.size(), 2u);
+  ASSERT_EQ(edges[0]->loss.count(), 1);
+  ASSERT_EQ(edges[1]->loss.count(), 1);
+  EXPECT_DOUBLE_EQ(edges[1]->loss.mean(), 1.0);
+
+  const auto est = compose_estimate(edges, Metric::kLoss);
+  EXPECT_DOUBLE_EQ(est.var_of_mean, 0.0);
+  EXPECT_DOUBLE_EQ(est.dof_denom, 0.0);
+  // The mean still composes: 1 - (1 - 0)(1 - min(1, kMaxComposableLoss)).
+  EXPECT_DOUBLE_EQ(est.mean, kMaxComposableLoss);
+}
+
+TEST(EdgeWeight, LossUsesNegLogSurvival) {
+  // edge_weight is -log(1 - p) for loss and the raw metric for RTT; the
+  // clamp keeps an all-lost edge finite at -log(1 - kMaxComposableLoss).
+  auto ds = make_dataset(2);
+  for (int i = 0; i < 4; ++i) {
+    add_invocation(ds, 0, 1, {10.0, i == 0 ? -1.0 : 10.0, 10.0});
+  }
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto* edge = table.find(topo::HostId{0}, topo::HostId{1});
+  ASSERT_NE(edge, nullptr);
+
+  const double p = edge_metric_value(*edge, Metric::kLoss);
+  EXPECT_NEAR(p, 1.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(edge_weight(*edge, Metric::kLoss), -std::log(1.0 - p));
+  EXPECT_DOUBLE_EQ(edge_weight(*edge, Metric::kRtt),
+                   edge_metric_value(*edge, Metric::kRtt));
+  // Weight of a hypothetical total-loss hop: the documented clamp value.
+  EXPECT_NEAR(-std::log(1.0 - kMaxComposableLoss), 6.9077552789821368,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pathsel::core

@@ -195,6 +195,59 @@ TEST(PathTable, WithoutHostsRemovesEdges) {
   EXPECT_NE(reduced.find(topo::HostId{0}, topo::HostId{1}), nullptr);
 }
 
+TEST(PathTable, WithoutHostsReindexesConsistently) {
+  // Removing hosts from the middle of the host list shifts every later
+  // index; the reduced table's host_index/find/edge order must all agree
+  // with the surviving data (the dense kernel leans on this mapping).
+  auto ds = make_dataset(5);
+  add_invocations(ds, 0, 1, 10.0, 2);
+  add_invocations(ds, 0, 2, 11.0, 2);
+  add_invocations(ds, 1, 3, 12.0, 2);
+  add_invocations(ds, 2, 4, 13.0, 2);
+  add_invocations(ds, 3, 4, 14.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  ASSERT_EQ(table.edges().size(), 5u);
+
+  const topo::HostId removed[] = {topo::HostId{1}, topo::HostId{3}};
+  const auto reduced = table.without_hosts(removed);
+
+  // Hosts: original order minus the removed ones; host_index matches the
+  // position in hosts() for every survivor.
+  ASSERT_EQ(reduced.hosts().size(), 3u);
+  EXPECT_EQ(reduced.hosts()[0], topo::HostId{0});
+  EXPECT_EQ(reduced.hosts()[1], topo::HostId{2});
+  EXPECT_EQ(reduced.hosts()[2], topo::HostId{4});
+  for (std::size_t i = 0; i < reduced.hosts().size(); ++i) {
+    EXPECT_EQ(reduced.host_index(reduced.hosts()[i]), i);
+  }
+
+  // Edges: only those between survivors, stats intact, lookup symmetric.
+  ASSERT_EQ(reduced.edges().size(), 2u);
+  const auto* e02 = reduced.find(topo::HostId{0}, topo::HostId{2});
+  ASSERT_NE(e02, nullptr);
+  EXPECT_EQ(e02, reduced.find(topo::HostId{2}, topo::HostId{0}));
+  EXPECT_DOUBLE_EQ(e02->rtt.mean(), 11.0);
+  const auto* e24 = reduced.find(topo::HostId{2}, topo::HostId{4});
+  ASSERT_NE(e24, nullptr);
+  EXPECT_DOUBLE_EQ(e24->rtt.mean(), 13.0);
+  EXPECT_EQ(reduced.find(topo::HostId{0}, topo::HostId{1}), nullptr);
+  EXPECT_EQ(reduced.find(topo::HostId{3}, topo::HostId{4}), nullptr);
+
+  // Every surviving edge's endpoints resolve through host_index.
+  for (const auto& e : reduced.edges()) {
+    EXPECT_LT(reduced.host_index(e.a), reduced.hosts().size());
+    EXPECT_LT(reduced.host_index(e.b), reduced.hosts().size());
+  }
+
+  // Removing nothing is the identity on hosts and edges.
+  const auto same = table.without_hosts({});
+  EXPECT_EQ(same.hosts().size(), table.hosts().size());
+  EXPECT_EQ(same.edges().size(), table.edges().size());
+
+  // Removed hosts are gone from the index entirely.
+  EXPECT_DEATH((void)reduced.host_index(topo::HostId{1}), "not in path table");
+}
+
 TEST(PathTable, HostIndexAbortsOnUnknown) {
   auto ds = make_dataset(2);
   add_invocation(ds, 0, 1, {1.0, 1.0, 1.0});

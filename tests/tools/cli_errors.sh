@@ -91,6 +91,33 @@ if [[ ! -f "$TMP/camp/UW3.ds" ]]; then
   failures=$((failures + 1))
 fi
 
+# --kernel contract: engine selection is validated before any I/O, the dense
+# kernel only exists for one-hop sweeps, and — the load-bearing promise —
+# forcing either engine leaves stdout byte-identical.
+expect 2 "bad kernel value" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel turbo
+expect 2 "dense kernel without --one-hop" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --kernel dense
+expect 2 "kernel with bandwidth metric" -- \
+  analyze --in "$TMP/uw3.ds" --metric bandwidth --one-hop --kernel dense
+expect 0 "one-hop analyze, dense kernel" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel dense
+expect 0 "one-hop analyze, search kernel" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel search
+
+for metric in rtt loss; do
+  for fmt in "" "--csv"; do
+    "$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --metric "$metric" \
+      --one-hop --kernel dense $fmt > "$TMP/dense.out" 2>/dev/null
+    "$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --metric "$metric" \
+      --one-hop --kernel search $fmt > "$TMP/search.out" 2>/dev/null
+    if ! cmp -s "$TMP/dense.out" "$TMP/search.out"; then
+      echo "FAIL: --kernel dense vs search stdout differs ($metric $fmt)" >&2
+      failures=$((failures + 1))
+    fi
+  done
+done
+
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a
 # metrics-off run (observability must never change analysis output).

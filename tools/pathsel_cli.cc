@@ -10,11 +10,15 @@
 //   pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth
 //                       [--min-samples N] [--one-hop] [--csv] [--coverage]
 //                       [--threads N] [--deadline SEC]
+//                       [--kernel auto|dense|search]
 //       Run the alternate-path analysis on a saved dataset.  --threads
 //       defaults to the hardware thread count (or $PATHSEL_THREADS); the
 //       results are bit-identical for every value.  --coverage appends a
 //       graceful-degradation summary of how much of the mesh backed the
-//       results.
+//       results.  --kernel picks the alternate-path engine for --one-hop
+//       sweeps: the dense min-plus kernel or the per-pair reference search
+//       (auto, the default, switches on table density); output is
+//       byte-identical either way.
 //   pathsel_cli campaign --out-dir DIR [--datasets A,B,...] [--scale S]
 //                        [--seed N] [--faults F] [--fault-seed N]
 //                        [--checkpoint-dir DIR] [--resume]
@@ -110,6 +114,7 @@ int usage() {
                "  pathsel_cli analyze --in FILE --metric rtt|loss|bandwidth\n"
                "                      [--min-samples N] [--one-hop] [--csv]\n"
                "                      [--coverage] [--threads N] [--deadline SEC]\n"
+               "                      [--kernel auto|dense|search]\n"
                "  pathsel_cli campaign --out-dir DIR [--datasets A,B,...]\n"
                "                       [--scale S] [--seed N] [--faults F]\n"
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
@@ -467,6 +472,29 @@ int cmd_analyze(const FlagMap& flags) {
     return kExitUsage;
   }
 
+  core::Kernel kernel = core::Kernel::kAuto;
+  if (const auto it = flags.find("kernel"); it != flags.end()) {
+    if (it->second == "auto") {
+      kernel = core::Kernel::kAuto;
+    } else if (it->second == "dense") {
+      kernel = core::Kernel::kDense;
+    } else if (it->second == "search") {
+      kernel = core::Kernel::kSearch;
+    } else {
+      std::fprintf(stderr, "invalid value for --kernel: %s\n",
+                   it->second.c_str());
+      return kExitUsage;
+    }
+    if (metric == "bandwidth") {
+      std::fprintf(stderr, "--kernel does not apply to bandwidth analysis\n");
+      return kExitUsage;
+    }
+    if (kernel == core::Kernel::kDense && !flags.contains("one-hop")) {
+      std::fprintf(stderr, "--kernel dense requires --one-hop\n");
+      return kExitUsage;
+    }
+  }
+
   // 0 resolves to default_thread_count() (PATHSEL_THREADS env override, else
   // hardware_concurrency); --threads 1 forces the serial path.
   std::int64_t threads = 0;
@@ -522,6 +550,7 @@ int cmd_analyze(const FlagMap& flags) {
   if (flags.contains("one-hop")) analyze.max_intermediate_hosts = 1;
   analyze.threads = static_cast<int>(threads);
   analyze.cancel = &g_cancel;
+  analyze.kernel = kernel;
 
   const auto result = core::analyze_with_coverage(ds, build, analyze);
   if (!result.is_ok()) {
@@ -639,7 +668,8 @@ int main(int argc, char** argv) {
   };
   if (command == "analyze") {
     if (!parse_flags(argc, argv, 2,
-                     {"in", "metric", "min-samples", "threads", "deadline"},
+                     {"in", "metric", "min-samples", "threads", "deadline",
+                      "kernel"},
                      {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
