@@ -1,14 +1,31 @@
-// Dense min-plus kernel vs. per-pair reference search.
+// Dense min-plus kernel: differential timings and the SIMD scaling curve.
 //
-// Sweeps the one-hop alternate-path analysis over seeded random meshes of
-// N ∈ {64, 128, 256, 512} hosts at edge densities 0.5 and 1.0, timing the
-// cache-blocked O(N³) min-plus kernel against the per-pair Bellman-Ford
-// reference (O(E) per pair, ~O(N⁴) on dense meshes), and re-checking that
-// both engines return bit-identical PairResult vectors — a speedup must
-// never come from a different answer.  PATHSEL_BENCH_SCALE < 1 trims the
-// upper end of the N sweep for quick CI runs.
+// Part 1 — engine differential (N ∈ {64..512}, densities 0.5/1.0): the
+// one-hop alternate-path sweep through the cache-blocked O(N³) min-plus
+// kernel against the per-pair Bellman-Ford reference (O(E) per pair,
+// ~O(N⁴) on dense meshes), re-checking that both engines return
+// bit-identical PairResult vectors — a speedup must never come from a
+// different answer.  The largest run also calibrates the search's
+// ns-per-relaxation, which part 2 uses to estimate search time at sizes
+// where actually running it would take hours.
+//
+// Part 2 — SIMD scaling curve (N ∈ {1024..8192} over degree-/tier-weighted
+// meshes from topo::generate_weighted_mesh): times the scalar and SIMD
+// (AVX2 when available) inner loops of min_plus_square on the same weight
+// matrix, checks the outputs bitwise-identical, and reports a scaling curve
+// — N, realized density, GFLOP-equivalent rate (one add + one compare per
+// relayed cell update), SIMD-vs-scalar speedup, and the estimated
+// speedup-vs-search — as a table and series in the bench-JSON schema.  The
+// committed baseline (bench/baselines/) gates regressions in CI via
+// tools/check_bench_regression.py.
+//
+// PATHSEL_BENCH_SCALE < 1 trims the upper end of both N sweeps for quick
+// CI runs (scale 0.2: part 1 stops at 64, the curve at 1024).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,6 +34,7 @@
 #include "core/dense_kernel.h"
 #include "core/path_table.h"
 #include "meas/dataset.h"
+#include "topo/generator.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -77,25 +95,16 @@ bool identical_results(const std::vector<core::PairResult>& a,
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (!pathsel::bench::init(argc, argv, "dense_kernel")) return 2;
-  namespace bench = pathsel::bench;
-
-  const double scale = bench::bench_scale();
+// Part 1: engine differential.  Returns the calibrated search cost in
+// ns per relaxation (from the largest run), or 0 when everything was
+// trimmed; sets `all_identical` false on any divergence.
+double run_engine_differential(double scale, bool& all_identical) {
   const auto max_n = static_cast<int>(512 * scale);
-
-  std::printf("==============================================================\n");
-  std::printf("dense_kernel: one-hop alternate sweep, min-plus vs. search\n");
-  std::printf("scale: %.2f (N sweep capped at %d); hardware threads: %u\n",
-              scale, max_n < 64 ? 64 : max_n, hardware_thread_count());
-  std::printf("==============================================================\n");
-
+  namespace bench = pathsel::bench;
   bench::notef(
       "n,density,edges,pairs,search_ms,dense_ms,speedup,identical\n");
-  bool all_identical = true;
   double worst_speedup_at_256_plus = -1.0;
+  double search_ns_per_relaxation = 0.0;
   for (const int n : {64, 128, 256, 512}) {
     if (n > 64 && n > max_n) continue;  // PATHSEL_BENCH_SCALE trim
     for (const double density : {0.5, 1.0}) {
@@ -127,6 +136,12 @@ int main(int argc, char** argv) {
                        speedup < worst_speedup_at_256_plus)) {
         worst_speedup_at_256_plus = speedup;
       }
+      const double edges = static_cast<double>(table.edges().size());
+      // ~2·E² edge relaxations per full search sweep; keep the calibration
+      // from the largest (most representative) run.
+      if (edges > 0.0) {
+        search_ns_per_relaxation = search_ms * 1e6 / (2.0 * edges * edges);
+      }
       bench::notef("%d,%.1f,%zu,%zu,%.2f,%.2f,%.2fx,%s\n", n, density,
                    table.edges().size(), search_results.size(), search_ms,
                    dense_ms, speedup, identical ? "yes" : "NO");
@@ -142,5 +157,139 @@ int main(int argc, char** argv) {
                  worst_speedup_at_256_plus, all_identical ? "bit-identical"
                                                           : "DIVERGED");
   }
-  return pathsel::bench::finish() != 0 || !all_identical ? 1 : 0;
+  return search_ns_per_relaxation;
+}
+
+// Part 2: SIMD scaling curve over degree-/tier-weighted meshes.
+bool run_scaling_curve(double scale, double search_ns_per_relaxation) {
+  namespace bench = pathsel::bench;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct CurvePoint {
+    int n;
+    double density;
+  };
+  // Density tapers with N so the full-scale sweep stays in whole-bench
+  // minutes: the kernel's useful work is ~2·density·N³ flop-equivalents.
+  const CurvePoint points[] = {{1024, 0.5}, {2048, 0.5}, {4096, 0.25},
+                               {8192, 0.125}};
+  const auto max_n = static_cast<int>(8192 * scale);
+  if (max_n < 1024) {
+    bench::notef("\nscaling curve: trimmed entirely at scale %.2f\n", scale);
+    return true;
+  }
+
+  Table table{"simd scaling curve (min-plus kernel)"};
+  table.set_header({"n", "density", "edges", "scalar_ms", "simd_ms", "mode",
+                    "gflops", "simd_speedup", "est_search_speedup",
+                    "identical"});
+  Series rate_series;
+  rate_series.name = "simd_gflops";
+  Series speedup_series;
+  speedup_series.name = "simd_speedup_vs_scalar";
+
+  const core::SimdMode simd_mode =
+      core::resolve_simd_mode(core::SimdMode::kAuto);
+  bool all_identical = true;
+  for (const CurvePoint& pt : points) {
+    if (pt.n > max_n) continue;  // PATHSEL_BENCH_SCALE trim
+    topo::WeightedMeshConfig cfg;
+    cfg.seed = 4242 + static_cast<std::uint64_t>(pt.n);
+    cfg.hosts = pt.n;
+    cfg.target_density = pt.density;
+    const topo::WeightedMesh mesh = topo::generate_weighted_mesh(cfg);
+
+    const auto n = static_cast<std::size_t>(pt.n);
+    core::WeightMatrix w;
+    w.n = n;
+    w.w.assign(n * n, kInf);
+    for (const topo::WeightedMeshEdge& e : mesh.edges) {
+      const auto a = static_cast<std::size_t>(e.a);
+      const auto b = static_cast<std::size_t>(e.b);
+      w.w[a * n + b] = e.rtt_ms;
+      w.w[b * n + a] = e.rtt_ms;
+    }
+
+    core::MinPlusSquare scalar_out, simd_out;
+    const double scalar_ms = once_ms([&] {
+      scalar_out = std::move(
+          core::min_plus_square(w, 0, nullptr, core::SimdMode::kScalar)
+              .value());
+    });
+    const double simd_ms = once_ms([&] {
+      simd_out = std::move(
+          core::min_plus_square(w, 0, nullptr, simd_mode).value());
+    });
+
+    const bool identical =
+        scalar_out.via == simd_out.via &&
+        std::memcmp(scalar_out.best.data(), simd_out.best.data(),
+                    scalar_out.best.size() * sizeof(double)) == 0;
+    all_identical = all_identical && identical;
+
+    // One relayed cell update = one add + one compare: 2 flop-equivalents
+    // per finite (i, k) pair per column.  The symmetric matrix has 2·E
+    // finite cells.
+    const double edges = static_cast<double>(mesh.edges.size());
+    const double flops = 2.0 * (2.0 * edges) * static_cast<double>(n);
+    const double gflops = simd_ms > 0.0 ? flops / (simd_ms * 1e6) : 0.0;
+    const double realized_density =
+        edges / (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+    const double speedup = simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
+    // ~2·E² relaxations for the reference search, priced at the part-1
+    // calibration (0 when part 1 was trimmed: column reads n/a).
+    const double est_search_ms =
+        search_ns_per_relaxation * 2.0 * edges * edges / 1e6;
+    const double est_search_speedup =
+        simd_ms > 0.0 && est_search_ms > 0.0 ? est_search_ms / simd_ms : 0.0;
+
+    table.add_row({std::to_string(pt.n), Table::fmt(realized_density, 3),
+                   std::to_string(mesh.edges.size()),
+                   Table::fmt(scalar_ms, 1), Table::fmt(simd_ms, 1),
+                   core::simd_mode_name(simd_mode), Table::fmt(gflops, 2),
+                   Table::fmt(speedup, 2) + "x",
+                   est_search_speedup > 0.0
+                       ? Table::fmt(est_search_speedup, 0) + "x"
+                       : std::string{"n/a"},
+                   identical ? "yes" : "NO"});
+    rate_series.x.push_back(pt.n);
+    rate_series.y.push_back(gflops);
+    speedup_series.x.push_back(pt.n);
+    speedup_series.y.push_back(speedup);
+  }
+  bench::emit(table);
+  bench::emit_series("simd scaling curve", {rate_series, speedup_series});
+  bench::notef("scaling summary: simd=%s, outputs %s\n",
+               core::simd_mode_name(simd_mode),
+               all_identical ? "bit-identical" : "DIVERGED");
+  return all_identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "dense_kernel")) return 2;
+  namespace bench = pathsel::bench;
+
+  const double scale = bench::bench_scale();
+  const auto max_n = static_cast<int>(512 * scale);
+
+  std::printf("==============================================================\n");
+  std::printf("dense_kernel: one-hop alternate sweep, min-plus vs. search\n");
+  std::printf("scale: %.2f (N sweep capped at %d); hardware threads: %u; "
+              "simd: %s\n",
+              scale, max_n < 64 ? 64 : max_n, hardware_thread_count(),
+              core::simd_mode_name(
+                  core::resolve_simd_mode(core::SimdMode::kAuto)));
+  std::printf("==============================================================\n");
+
+  bool all_identical = true;
+  const double search_ns_per_relaxation =
+      run_engine_differential(scale, all_identical);
+  const bool curve_identical =
+      run_scaling_curve(scale, search_ns_per_relaxation);
+
+  return pathsel::bench::finish() != 0 || !all_identical || !curve_identical
+             ? 1
+             : 0;
 }

@@ -11,6 +11,7 @@
 // can classify every pair with a Welch t-test.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,23 @@ enum class Metric {
   kRtt,          // mean round-trip time, ms
   kLoss,         // mean loss rate, [0, 1]
   kPropagation,  // 10th-percentile RTT, ms (requires retained samples)
+};
+
+/// Instruction-set path for the dense kernel's inner arg-min loop.  Every
+/// mode computes the same IEEE additions and strict-< comparisons in the
+/// same k order, so results are bit-identical across modes (locked in by
+/// the differential suite); they differ only in throughput.
+enum class SimdMode {
+  /// Resolve from the PATHSEL_SIMD environment variable (auto|avx2|scalar)
+  /// when set, else pick the widest path the CPU supports.
+  kAuto,
+  /// Prefer the AVX2 4-lane path; silently falls back to scalar when the
+  /// binary or CPU lacks AVX2 (the dispatch never executes illegal
+  /// instructions).  simd_mode_name(resolve_simd_mode(...)) reports the
+  /// path actually taken.
+  kAvx2,
+  /// Force the portable scalar path.
+  kScalar,
 };
 
 /// Which alternate-path engine runs the sweep.  Both produce bit-identical
@@ -77,6 +95,15 @@ struct AnalyzerOptions {
   const CancelToken* cancel = nullptr;
   /// Alternate-path engine selection (see Kernel).
   Kernel kernel = Kernel::kAuto;
+  /// Instruction-set path for the dense kernel (see SimdMode).  kAuto defers
+  /// to PATHSEL_SIMD, then to runtime CPU detection.
+  SimdMode simd = SimdMode::kAuto;
+  /// Memory budget for the dense kernel's O(N²) working set (weight matrix +
+  /// best + via planes), consulted by the Kernel::kAuto heuristic:
+  /// dense_kernel_memory_bytes(hosts) above this budget keeps the sweep on
+  /// the O(N)-memory search.  Kernel::kDense overrides the budget (explicit
+  /// opt-in).  Default: kDenseDefaultMemoryBudget.
+  std::size_t dense_memory_budget_bytes = 0;  // 0: kDenseDefaultMemoryBudget
 };
 
 /// Computes the best alternate for every measured pair.  Pairs whose removal

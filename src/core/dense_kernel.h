@@ -64,10 +64,40 @@ struct MinPlusSquare {
 /// Computes the min-plus square with the blocked, chunk-parallel kernel.
 /// `threads` follows AnalyzerOptions::threads semantics; `cancel` (may be
 /// null) is polled at block boundaries and the partial result is discarded
-/// when it trips.  Output is bit-identical for every thread count.
+/// when it trips; `simd` selects the inner-loop instruction path (see
+/// SimdMode).  Output is bit-identical for every thread count and every
+/// SIMD mode.
 [[nodiscard]] Result<MinPlusSquare> min_plus_square(
     const WeightMatrix& w, int threads = 0,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr, SimdMode simd = SimdMode::kAuto);
+
+// ---- SIMD dispatch ---------------------------------------------------------
+
+/// Whether this binary carries the AVX2 inner loop AND the CPU executes
+/// AVX2.  False on non-x86 builds, on toolchains without -mavx2, and on
+/// pre-Haswell hardware.
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// The instruction path min_plus_square() actually runs for `requested`:
+/// kAvx2 when requested (or kAuto resolves there) and avx2_supported(),
+/// kScalar otherwise.  kAuto consults PATHSEL_SIMD=auto|avx2|scalar first
+/// (unknown values warn once and mean auto), then CPU detection.  Never
+/// returns kAuto.
+[[nodiscard]] SimdMode resolve_simd_mode(SimdMode requested) noexcept;
+
+/// "avx2" / "scalar" / "auto", for logs and bench reports.
+[[nodiscard]] const char* simd_mode_name(SimdMode mode) noexcept;
+
+// ---- Auto-selection heuristic ----------------------------------------------
+
+/// Bytes the dense kernel needs for an N-host sweep: the N×N weight matrix
+/// plus the best and via output planes.  The transient PairResult emission
+/// is O(E) on top and not counted.
+[[nodiscard]] constexpr std::size_t dense_kernel_memory_bytes(
+    std::size_t hosts) noexcept {
+  return hosts * hosts *
+         (2 * sizeof(double) + sizeof(std::int32_t));  // w + best + via
+}
 
 /// Auto-selection heuristic: whether the sweep described by `options` over a
 /// table of `hosts`/`edges` should run on the dense kernel.  Kernel::kSearch
@@ -75,16 +105,23 @@ struct MinPlusSquare {
 /// answers true (one-hop only); Kernel::kAuto compares the estimated
 /// relaxation counts — ~2·E² for the per-pair search against ~N³ for the
 /// kernel — and switches once the search is kDenseCostRatio times more
-/// expensive, within the host-count guards below.
+/// expensive, within the host-count and memory guards below.
 [[nodiscard]] bool dense_kernel_applicable(std::size_t hosts,
                                            std::size_t edges,
                                            const AnalyzerOptions& options);
 
 /// Auto-selection guards: below kDenseMinHosts the matrix setup dominates;
-/// above kDenseMaxHosts the O(N²) footprint (two double matrices plus an
-/// int32 arg-min plane) is not worth trading for the search's O(N) memory.
+/// above the memory budget (AnalyzerOptions::dense_memory_budget_bytes,
+/// kDenseDefaultMemoryBudget when 0) the O(N²) footprint is not worth
+/// trading for the search's O(N) memory; kDenseMaxHosts is the hard ceiling
+/// regardless of budget (via indices are int32, and beyond it even the
+/// weight matrix build is prohibitive).  The default budget admits meshes
+/// to ~14k hosts (dense_kernel_memory_bytes(14650) ≈ 4.0 GiB) — the old
+/// fixed 8192-host cap is gone.
 inline constexpr std::size_t kDenseMinHosts = 32;
-inline constexpr std::size_t kDenseMaxHosts = 8192;
+inline constexpr std::size_t kDenseMaxHosts = 65536;
+inline constexpr std::size_t kDenseDefaultMemoryBudget =
+    std::size_t{4} << 30;  // 4 GiB
 inline constexpr double kDenseCostRatio = 8.0;
 
 /// One-hop alternate analysis through the dense kernel.  Produces the same

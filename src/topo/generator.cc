@@ -394,4 +394,96 @@ Topology generate_topology(const GeneratorConfig& config) {
   return topo;
 }
 
+WeightedMesh generate_weighted_mesh(const WeightedMeshConfig& config) {
+  PATHSEL_EXPECT(config.hosts > 0, "weighted mesh needs at least one host");
+  PATHSEL_EXPECT(config.target_density > 0.0 && config.target_density <= 1.0,
+                 "target_density must be in (0, 1]");
+  PATHSEL_EXPECT(config.backbone_fraction >= 0.0 &&
+                     config.regional_fraction >= 0.0 &&
+                     config.backbone_fraction + config.regional_fraction <= 1.0,
+                 "tier fractions must be non-negative and sum to <= 1");
+  Rng rng{config.seed};
+  const auto n = static_cast<std::size_t>(config.hosts);
+
+  WeightedMesh mesh;
+  mesh.hosts = config.hosts;
+  mesh.tiers.resize(n);
+  std::vector<double> weight(n);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    double tier_weight;
+    if (u < config.backbone_fraction) {
+      mesh.tiers[i] = MeshTier::kBackbone;
+      tier_weight = config.backbone_degree_weight;
+    } else if (u < config.backbone_fraction + config.regional_fraction) {
+      mesh.tiers[i] = MeshTier::kRegional;
+      tier_weight = config.regional_degree_weight;
+    } else {
+      mesh.tiers[i] = MeshTier::kStub;
+      tier_weight = 1.0;
+    }
+    weight[i] = tier_weight * rng.lognormal(0.0, config.degree_sigma);
+    weight_sum += weight[i];
+  }
+
+  // p(i, j) = min(1, c · w_i · w_j) with c chosen so the expected edge count
+  // is target_density · C(n, 2).  The unclamped closed form
+  // c = expected / (Σ_{i<j} w_i w_j) undershoots once hub pairs saturate at
+  // p = 1, so refine c with a few fixed-point passes against the exact
+  // clamped expectation E(c) = Σ min(1, c w_i w_j) — deterministic, O(N²)
+  // per pass, the same order as the edge draw itself.  E is monotone and
+  // concave in c, so scaling by the shortfall converges fast; three passes
+  // land within ~2% for the tier mixes this generator targets.
+  double weight_sq_sum = 0.0;
+  for (const double w : weight) weight_sq_sum += w * w;
+  const double pair_weight = (weight_sum * weight_sum - weight_sq_sum) / 2.0;
+  const double expected_edges = config.target_density *
+                                (static_cast<double>(n) *
+                                 static_cast<double>(n - 1) / 2.0);
+  double c = pair_weight > 0.0 ? expected_edges / pair_weight : 0.0;
+  for (int pass = 0; pass < 3 && c > 0.0; ++pass) {
+    double expected = 0.0;
+    double unclamped_mass = 0.0;  // Σ w_i w_j over pairs still below 1
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double ww = weight[i] * weight[j];
+        if (c * ww >= 1.0) {
+          expected += 1.0;
+        } else {
+          expected += c * ww;
+          unclamped_mass += ww;
+        }
+      }
+    }
+    if (expected >= expected_edges || unclamped_mass <= 0.0) break;
+    // Assign the shortfall to the pairs that can still absorb probability.
+    c += (expected_edges - expected) / unclamped_mass;
+  }
+
+  // RTT scale per tier pair: a hop into a better-connected tier is shorter.
+  // Indexed by min(tier_a, tier_b) + max: backbone-backbone ≈ 0.25×stub,
+  // stub-stub (two transit hops through the hierarchy) = 1×.
+  const auto tier_rtt_factor = [](MeshTier a, MeshTier b) noexcept {
+    const int sum = static_cast<int>(a) + static_cast<int>(b);
+    return 0.25 + 0.1875 * static_cast<double>(sum);  // 0.25 … 1.0
+  };
+
+  mesh.edges.reserve(static_cast<std::size_t>(expected_edges * 1.05) + 16);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p = std::min(1.0, c * weight[i] * weight[j]);
+      if (!rng.bernoulli(p)) continue;
+      const double base = config.stub_rtt_ms *
+                          tier_rtt_factor(mesh.tiers[i], mesh.tiers[j]);
+      WeightedMeshEdge e;
+      e.a = static_cast<std::int32_t>(i);
+      e.b = static_cast<std::int32_t>(j);
+      e.rtt_ms = base * rng.lognormal(0.0, 0.35);
+      mesh.edges.push_back(e);
+    }
+  }
+  return mesh;
+}
+
 }  // namespace pathsel::topo

@@ -15,7 +15,9 @@
 // layer.  All randomness is drawn from the seed in the config.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "topo/topology.h"
 #include "util/rng.h"
@@ -66,5 +68,58 @@ struct GeneratorConfig {
 /// Generates a connected topology; aborts (PATHSEL_EXPECT) only on config
 /// values that cannot produce a valid topology.
 [[nodiscard]] Topology generate_topology(const GeneratorConfig& config);
+
+// ---- Degree-/tier-weighted measurement meshes ------------------------------
+//
+// The full tiered generator above builds routers, links and policies — far
+// more structure than the Internet-scale kernel sweeps need, and far too
+// slow at 10⁴⁺ hosts.  generate_weighted_mesh() instead grows a host-level
+// measurement mesh directly, in the spirit of the degree-weighted
+// shortest-path models of Chen et al. (*Weighted Shortest Path Models*,
+// PAPERS.md): each host draws a tier (backbone / regional / stub) and a
+// lognormal degree weight scaled by its tier, and pair (i, j) is measured
+// with probability proportional to weight_i · weight_j, normalized so the
+// expected edge count matches `target_density` · C(N, 2).  Well-connected
+// hosts therefore see quadratically more edges — the heavy-tailed degree
+// mix real traceroute meshes show — while the RTT of an edge reflects the
+// tiers it spans (backbone–backbone short, stub–stub two transit hops).
+
+enum class MeshTier : std::uint8_t { kBackbone = 0, kRegional = 1, kStub = 2 };
+inline constexpr std::size_t kMeshTierCount = 3;
+
+struct WeightedMeshConfig {
+  std::uint64_t seed = 1;
+  int hosts = 1024;
+  /// Expected fraction of host pairs that are measured, in (0, 1].
+  double target_density = 0.5;
+  /// Tier mix; must be non-negative and sum to <= 1 (remainder is stubs).
+  double backbone_fraction = 0.02;
+  double regional_fraction = 0.18;
+  /// Relative degree weight per tier (stub = 1.0); lognormal(0, sigma)
+  /// jitter multiplies each host's weight.
+  double backbone_degree_weight = 8.0;
+  double regional_degree_weight = 3.0;
+  double degree_sigma = 0.4;
+  /// Mean RTT in ms of a stub–stub edge; edges touching better-connected
+  /// tiers are proportionally faster.
+  double stub_rtt_ms = 90.0;
+};
+
+struct WeightedMeshEdge {
+  std::int32_t a = 0;
+  std::int32_t b = 0;  // a < b
+  double rtt_ms = 0.0;
+};
+
+struct WeightedMesh {
+  int hosts = 0;
+  std::vector<MeshTier> tiers;       // per host
+  std::vector<WeightedMeshEdge> edges;  // ascending (a, b)
+};
+
+/// Deterministic in `config.seed`; aborts (PATHSEL_EXPECT) on non-positive
+/// host counts or out-of-range density/fractions.
+[[nodiscard]] WeightedMesh generate_weighted_mesh(
+    const WeightedMeshConfig& config);
 
 }  // namespace pathsel::topo

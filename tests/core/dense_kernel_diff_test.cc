@@ -107,12 +107,13 @@ void expect_identical(const std::vector<PairResult>& a,
 }
 
 std::vector<PairResult> run(const PathTable& table, Kernel kernel, int threads,
-                            Metric metric) {
+                            Metric metric, SimdMode simd = SimdMode::kAuto) {
   AnalyzerOptions o;
   o.metric = metric;
   o.max_intermediate_hosts = 1;
   o.threads = threads;
   o.kernel = kernel;
+  o.simd = simd;
   return analyze_alternate_paths(table, o);
 }
 
@@ -150,8 +151,18 @@ TEST(DenseKernelDiff, MatchesReferenceOnSeededTables) {
     const auto reference = run(table, Kernel::kSearch, 1, spec.metric);
     for (const int threads : {1, 4, 8}) {
       SCOPED_TRACE(testing::Message() << "threads=" << threads);
-      expect_identical(reference,
-                       run(table, Kernel::kDense, threads, spec.metric));
+      // Every instruction path must match the reference bit for bit: the
+      // scalar loop, the AVX2 loop (resolves to scalar on hardware without
+      // it — then a redundant but harmless repeat), and whatever kAuto /
+      // PATHSEL_SIMD picks for this run.
+      for (const SimdMode simd :
+           {SimdMode::kScalar, SimdMode::kAvx2, SimdMode::kAuto}) {
+        SCOPED_TRACE(testing::Message()
+                     << "simd=" << simd_mode_name(simd));
+        expect_identical(reference,
+                         run(table, Kernel::kDense, threads, spec.metric,
+                             simd));
+      }
       expect_identical(reference,
                        run(table, Kernel::kSearch, threads, spec.metric));
     }

@@ -118,6 +118,28 @@ for metric in rtt loss; do
   done
 done
 
+# --simd contract: value validated as a usage error before I/O, and the
+# instruction path never changes the answer — scalar and avx2 stdout must
+# be byte-identical (on hardware without AVX2 this compares scalar against
+# its own fallback, which still locks the flag plumbing).
+expect 2 "bad simd value" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --simd sse9
+expect 2 "simd with bandwidth metric" -- \
+  analyze --in "$TMP/uw3.ds" --metric bandwidth --one-hop --simd avx2
+for simd in auto avx2 scalar; do
+  expect 0 "one-hop analyze, simd $simd" -- \
+    analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel dense \
+    --simd "$simd"
+done
+"$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel dense \
+  --simd scalar > "$TMP/simd_scalar.out" 2>/dev/null
+"$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --one-hop --kernel dense \
+  --simd avx2 > "$TMP/simd_avx2.out" 2>/dev/null
+if ! cmp -s "$TMP/simd_scalar.out" "$TMP/simd_avx2.out"; then
+  echo "FAIL: --simd scalar vs avx2 stdout differs" >&2
+  failures=$((failures + 1))
+fi
+
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a
 # metrics-off run (observability must never change analysis output).

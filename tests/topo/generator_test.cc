@@ -216,5 +216,104 @@ TEST(Generator, InvalidConfigAborts) {
   EXPECT_DEATH((void)generate_topology(cfg), "two backbones");
 }
 
+// ---------------------------------------------------------------------------
+// Degree-/tier-weighted measurement meshes.
+
+WeightedMeshConfig mesh_config(std::uint64_t seed, int hosts = 400,
+                               double density = 0.3) {
+  WeightedMeshConfig cfg;
+  cfg.seed = seed;
+  cfg.hosts = hosts;
+  cfg.target_density = density;
+  return cfg;
+}
+
+TEST(WeightedMesh, DeterministicForSameSeedAndSeedSensitive) {
+  const WeightedMesh a = generate_weighted_mesh(mesh_config(7));
+  const WeightedMesh b = generate_weighted_mesh(mesh_config(7));
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].a, b.edges[i].a);
+    EXPECT_EQ(a.edges[i].b, b.edges[i].b);
+    EXPECT_DOUBLE_EQ(a.edges[i].rtt_ms, b.edges[i].rtt_ms);
+  }
+  EXPECT_EQ(a.tiers, b.tiers);
+  const WeightedMesh c = generate_weighted_mesh(mesh_config(8));
+  EXPECT_NE(a.edges.size(), c.edges.size());
+}
+
+TEST(WeightedMesh, RealizedDensityTracksTarget) {
+  const WeightedMesh m = generate_weighted_mesh(mesh_config(11, 600, 0.4));
+  const double pairs = 600.0 * 599.0 / 2.0;
+  const double realized = static_cast<double>(m.edges.size()) / pairs;
+  // Probability clamping on hub pairs biases slightly low; ±20% relative is
+  // a loose but seed-stable envelope.
+  EXPECT_GT(realized, 0.4 * 0.8);
+  EXPECT_LT(realized, 0.4 * 1.2);
+}
+
+TEST(WeightedMesh, BackbonesOutDegreeStubs) {
+  const WeightedMesh m = generate_weighted_mesh(mesh_config(13, 800, 0.2));
+  std::vector<int> degree(800, 0);
+  for (const auto& e : m.edges) {
+    ++degree[static_cast<std::size_t>(e.a)];
+    ++degree[static_cast<std::size_t>(e.b)];
+  }
+  double backbone_sum = 0.0, stub_sum = 0.0;
+  int backbone_count = 0, stub_count = 0;
+  for (std::size_t i = 0; i < m.tiers.size(); ++i) {
+    if (m.tiers[i] == MeshTier::kBackbone) {
+      backbone_sum += degree[i];
+      ++backbone_count;
+    } else if (m.tiers[i] == MeshTier::kStub) {
+      stub_sum += degree[i];
+      ++stub_count;
+    }
+  }
+  ASSERT_GT(backbone_count, 0);
+  ASSERT_GT(stub_count, 0);
+  // Mean backbone degree should dominate mean stub degree by well over the
+  // lognormal jitter (weight ratio is 8x; edge probability is linear in it).
+  EXPECT_GT(backbone_sum / backbone_count, 3.0 * (stub_sum / stub_count));
+}
+
+TEST(WeightedMesh, EdgesAreOrderedPositiveAndTierScaled) {
+  const WeightedMesh m = generate_weighted_mesh(mesh_config(17));
+  double backbone_rtt = 0.0, stub_rtt = 0.0;
+  int backbone_edges = 0, stub_edges = 0;
+  for (const auto& e : m.edges) {
+    ASSERT_LT(e.a, e.b);
+    ASSERT_GE(e.a, 0);
+    ASSERT_LT(e.b, m.hosts);
+    ASSERT_GT(e.rtt_ms, 0.0);
+    const auto ta = m.tiers[static_cast<std::size_t>(e.a)];
+    const auto tb = m.tiers[static_cast<std::size_t>(e.b)];
+    if (ta == MeshTier::kBackbone && tb == MeshTier::kBackbone) {
+      backbone_rtt += e.rtt_ms;
+      ++backbone_edges;
+    } else if (ta == MeshTier::kStub && tb == MeshTier::kStub) {
+      stub_rtt += e.rtt_ms;
+      ++stub_edges;
+    }
+  }
+  ASSERT_GT(backbone_edges, 0);
+  ASSERT_GT(stub_edges, 0);
+  // Backbone–backbone edges are 0.25× the stub–stub RTT scale.
+  EXPECT_LT(backbone_rtt / backbone_edges, 0.6 * (stub_rtt / stub_edges));
+}
+
+TEST(WeightedMesh, InvalidConfigAborts) {
+  WeightedMeshConfig bad = mesh_config(1);
+  bad.hosts = 0;
+  EXPECT_DEATH((void)generate_weighted_mesh(bad), "at least one host");
+  bad = mesh_config(1);
+  bad.target_density = 0.0;
+  EXPECT_DEATH((void)generate_weighted_mesh(bad), "target_density");
+  bad = mesh_config(1);
+  bad.backbone_fraction = 0.8;
+  bad.regional_fraction = 0.4;
+  EXPECT_DEATH((void)generate_weighted_mesh(bad), "tier fractions");
+}
+
 }  // namespace
 }  // namespace pathsel::topo

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench --json reports.
+
+Compares a freshly produced bench report against a committed baseline
+(bench/baselines/<bench>.json) and fails on slowdowns:
+
+  python3 tools/check_bench_regression.py \
+      --baseline bench/baselines/bench_dense_kernel.json \
+      --report   bench-reports/bench_dense_kernel.json \
+      [--tolerance 0.25] [--min-ms 5.0]
+
+What is compared (both halves matter):
+
+  * metrics.counters — exact equality.  Counters are deterministic for a
+    fixed (seed, scale, thread count): a changed counter means the bench
+    did different WORK, not just at a different speed — that is a
+    correctness/coverage regression and fails regardless of timing.
+  * metrics.phases   — wall_ms per call, phase by phase.  A phase slower
+    than baseline by more than --tolerance (default 0.25 = 25%) fails.
+    Phases faster by the same margin print an update prompt: commit a new
+    baseline so the gate guards the better number.  Phases whose baseline
+    wall time is below --min-ms are skipped as timer noise.
+
+The report must have been produced at the same PATHSEL_BENCH_SCALE as the
+baseline (the schema records it); a scale mismatch is an error, never a
+comparison — scaled runs and baselines must not be confused.
+
+Regenerating the baseline (after a deliberate perf change, or on a new CI
+runner class):
+
+  PATHSEL_UPDATE_BASELINE=1 python3 tools/check_bench_regression.py \
+      --baseline bench/baselines/bench_dense_kernel.json \
+      --report   bench-reports/bench_dense_kernel.json
+
+which copies the report over the baseline and exits 0; commit the result.
+
+Exit codes: 0 ok (or baseline updated), 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_ms(v):
+    return f"{v:10.3f}"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Fail CI when a bench --json report regresses vs its "
+                    "committed baseline.")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (bench/baselines/...)")
+    ap.add_argument("--report", required=True,
+                    help="freshly produced bench --json report")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown per phase "
+                         "(0.25 = 25%%; default %(default)s)")
+    ap.add_argument("--min-ms", type=float, default=5.0,
+                    help="skip phases whose baseline wall_ms is below this "
+                         "(timer noise; default %(default)s)")
+    args = ap.parse_args()
+    if args.tolerance <= 0:
+        print("check_bench_regression: --tolerance must be > 0",
+              file=sys.stderr)
+        return 2
+
+    if os.environ.get("PATHSEL_UPDATE_BASELINE") == "1":
+        load(args.report)  # must at least be valid JSON
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.report, args.baseline)
+        print(f"baseline updated: {args.report} -> {args.baseline} "
+              "(commit it)")
+        return 0
+
+    baseline = load(args.baseline)
+    report = load(args.report)
+
+    for key in ("bench", "schema_version"):
+        if baseline.get(key) != report.get(key):
+            print(f"check_bench_regression: {key} mismatch: baseline "
+                  f"{baseline.get(key)!r} vs report {report.get(key)!r}",
+                  file=sys.stderr)
+            return 2
+    if baseline.get("scale") != report.get("scale"):
+        print("check_bench_regression: PATHSEL_BENCH_SCALE mismatch: "
+              f"baseline ran at {baseline.get('scale')}, report at "
+              f"{report.get('scale')} — scaled runs and baselines must not "
+              "be compared", file=sys.stderr)
+        return 2
+
+    bench = baseline.get("bench", "?")
+    base_metrics = baseline.get("metrics", {})
+    rep_metrics = report.get("metrics", {})
+    failures = []
+    speedups = []
+
+    # --- counters: deterministic work fingerprint --------------------------
+    base_counters = base_metrics.get("counters", {})
+    rep_counters = rep_metrics.get("counters", {})
+    for name, want in sorted(base_counters.items()):
+        got = rep_counters.get(name)
+        if got is None:
+            failures.append(f"counter {name} vanished (baseline {want})")
+        elif got != want:
+            failures.append(f"counter {name}: {got} != baseline {want} "
+                            "(different work, not different speed)")
+    for name in sorted(set(rep_counters) - set(base_counters)):
+        print(f"note: new counter {name}={rep_counters[name]} not in "
+              "baseline (update the baseline to start guarding it)")
+
+    # --- phases: per-call wall time ---------------------------------------
+    base_phases = base_metrics.get("phases", {})
+    rep_phases = rep_metrics.get("phases", {})
+    print(f"{bench}: phase timings vs baseline "
+          f"(tolerance {args.tolerance:.0%}, scale {report.get('scale')})")
+    print(f"{'phase':<44} {'baseline':>10} {'report':>10} {'ratio':>7}")
+    for name, base_stat in sorted(base_phases.items()):
+        base_calls = max(1, base_stat.get("calls", 1))
+        base_ms = base_stat.get("wall_ms", 0.0)
+        if base_ms < args.min_ms:
+            continue
+        rep_stat = rep_phases.get(name)
+        if rep_stat is None:
+            failures.append(f"phase {name} vanished from the report")
+            continue
+        rep_calls = max(1, rep_stat.get("calls", 1))
+        base_per_call = base_ms / base_calls
+        rep_per_call = rep_stat.get("wall_ms", 0.0) / rep_calls
+        ratio = rep_per_call / base_per_call if base_per_call > 0 else 1.0
+        verdict = ""
+        if ratio > 1.0 + args.tolerance:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"phase {name}: {rep_per_call:.3f} ms/call vs baseline "
+                f"{base_per_call:.3f} ({ratio:.2f}x, tolerance "
+                f"{1.0 + args.tolerance:.2f}x)")
+        elif ratio < 1.0 / (1.0 + args.tolerance):
+            verdict = "  faster"
+            speedups.append(name)
+        print(f"{name:<44} {fmt_ms(base_per_call)} {fmt_ms(rep_per_call)} "
+              f"{ratio:6.2f}x{verdict}")
+
+    if speedups:
+        print(f"\n{len(speedups)} phase(s) are now substantially faster than "
+              "the baseline:")
+        for name in speedups:
+            print(f"  {name}")
+        print("lock the win in: PATHSEL_UPDATE_BASELINE=1 "
+              f"python3 {sys.argv[0]} --baseline {args.baseline} "
+              f"--report {args.report}  # then commit")
+
+    if failures:
+        print(f"\n{bench}: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\n{bench}: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

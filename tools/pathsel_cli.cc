@@ -11,6 +11,7 @@
 //                       [--min-samples N] [--one-hop] [--csv] [--coverage]
 //                       [--threads N] [--deadline SEC]
 //                       [--kernel auto|dense|search]
+//                       [--simd auto|avx2|scalar]
 //       Run the alternate-path analysis on a saved dataset.  --threads
 //       defaults to the hardware thread count (or $PATHSEL_THREADS); the
 //       results are bit-identical for every value.  --coverage appends a
@@ -18,7 +19,10 @@
 //       results.  --kernel picks the alternate-path engine for --one-hop
 //       sweeps: the dense min-plus kernel or the per-pair reference search
 //       (auto, the default, switches on table density); output is
-//       byte-identical either way.
+//       byte-identical either way.  --simd picks the dense kernel's
+//       instruction path (default auto: $PATHSEL_SIMD, then the widest the
+//       CPU supports; avx2 falls back to scalar when unsupported); every
+//       path is bit-identical, only throughput differs.
 //   pathsel_cli campaign --out-dir DIR [--datasets A,B,...] [--scale S]
 //                        [--seed N] [--faults F] [--fault-seed N]
 //                        [--checkpoint-dir DIR] [--resume]
@@ -115,6 +119,7 @@ int usage() {
                "                      [--min-samples N] [--one-hop] [--csv]\n"
                "                      [--coverage] [--threads N] [--deadline SEC]\n"
                "                      [--kernel auto|dense|search]\n"
+               "                      [--simd auto|avx2|scalar]\n"
                "  pathsel_cli campaign --out-dir DIR [--datasets A,B,...]\n"
                "                       [--scale S] [--seed N] [--faults F]\n"
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
@@ -495,6 +500,25 @@ int cmd_analyze(const FlagMap& flags) {
     }
   }
 
+  core::SimdMode simd = core::SimdMode::kAuto;
+  if (const auto it = flags.find("simd"); it != flags.end()) {
+    if (it->second == "auto") {
+      simd = core::SimdMode::kAuto;
+    } else if (it->second == "avx2") {
+      simd = core::SimdMode::kAvx2;
+    } else if (it->second == "scalar") {
+      simd = core::SimdMode::kScalar;
+    } else {
+      std::fprintf(stderr, "invalid value for --simd: %s\n",
+                   it->second.c_str());
+      return kExitUsage;
+    }
+    if (metric == "bandwidth") {
+      std::fprintf(stderr, "--simd does not apply to bandwidth analysis\n");
+      return kExitUsage;
+    }
+  }
+
   // 0 resolves to default_thread_count() (PATHSEL_THREADS env override, else
   // hardware_concurrency); --threads 1 forces the serial path.
   std::int64_t threads = 0;
@@ -551,6 +575,7 @@ int cmd_analyze(const FlagMap& flags) {
   analyze.threads = static_cast<int>(threads);
   analyze.cancel = &g_cancel;
   analyze.kernel = kernel;
+  analyze.simd = simd;
 
   const auto result = core::analyze_with_coverage(ds, build, analyze);
   if (!result.is_ok()) {
@@ -669,7 +694,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     if (!parse_flags(argc, argv, 2,
                      {"in", "metric", "min-samples", "threads", "deadline",
-                      "kernel"},
+                      "kernel", "simd"},
                      {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
