@@ -1,0 +1,360 @@
+#include "core/disjoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace pathsel::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One capacity-1 segment of the transformed graph: either a measured
+// overlay edge (edge != nullptr) or a node-splitting arc (edge == nullptr,
+// weight 0) in the node-disjoint variant.  `state` tracks which direction
+// the flow currently uses: 0 unused, +1 from->to, -1 to->from.  The
+// residual graph derives from it: an unused undirected segment offers both
+// directions at +weight (a directed one only from->to); a used segment
+// offers only the reverse of its used direction at -weight — the Bhandari
+// interlacing arc.  Node-mode segments are directed: an undirected encoding
+// would let a path run entry(b) -> exit(a) backwards through the split
+// gadget and bypass the capacity-1 node constraint.
+struct Segment {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double weight = 0.0;
+  const PathEdge* edge = nullptr;
+  int state = 0;
+  bool directed = false;
+};
+
+// The per-pair working graph.  Node numbering: in link-disjoint mode, node
+// i is host index i.  In node-disjoint mode every host splits into an entry
+// node 2i and an exit node 2i+1 joined by a zero-weight segment, so a
+// second path through the same intermediate host must either cancel the
+// first or be rejected.
+struct FlowGraph {
+  std::size_t nodes = 0;
+  std::vector<Segment> segments;
+  // Residual adjacency as indices into `segments` with a direction flag
+  // (+1: traverse from->to, -1: to->from), rebuilt per Bellman-Ford round
+  // from the segment states.  Kept as a flat arc list sorted by (tail,
+  // head) so relaxation order — and therefore every tie-break — is a pure
+  // function of the graph, never of thread scheduling.
+  struct Arc {
+    std::size_t tail = 0;
+    std::size_t head = 0;
+    double weight = 0.0;
+    std::size_t segment = 0;
+    int direction = 0;
+  };
+  std::vector<Arc> arcs;
+
+  void rebuild_arcs() {
+    arcs.clear();
+    arcs.reserve(segments.size() * 2);
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const Segment& seg = segments[s];
+      if (seg.state == 0) {
+        arcs.push_back({seg.from, seg.to, seg.weight, s, +1});
+        if (!seg.directed) {
+          arcs.push_back({seg.to, seg.from, seg.weight, s, -1});
+        }
+      } else if (seg.state > 0) {
+        arcs.push_back({seg.to, seg.from, -seg.weight, s, -1});
+      } else {
+        arcs.push_back({seg.from, seg.to, -seg.weight, s, +1});
+      }
+    }
+    std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+      if (a.tail != b.tail) return a.tail < b.tail;
+      if (a.head != b.head) return a.head < b.head;
+      return a.segment < b.segment;
+    });
+  }
+};
+
+// Bellman-Ford from src over the residual arcs (weights go negative after
+// reversal, so Dijkstra does not apply).  Fixed ascending arc order with
+// strict-< relaxation keeps the parent forest — and hence every equal-cost
+// tie — deterministic.  Residual graphs of successive shortest paths have
+// no negative cycles, so at most `nodes` rounds settle.
+bool bellman_ford(const FlowGraph& g, std::size_t src, std::size_t dst,
+                  std::vector<double>& dist, std::vector<std::size_t>& parent_arc) {
+  dist.assign(g.nodes, kInf);
+  parent_arc.assign(g.nodes, std::numeric_limits<std::size_t>::max());
+  dist[src] = 0.0;
+  for (std::size_t round = 0; round < g.nodes; ++round) {
+    bool improved = false;
+    for (std::size_t a = 0; a < g.arcs.size(); ++a) {
+      const FlowGraph::Arc& arc = g.arcs[a];
+      if (dist[arc.tail] == kInf) continue;
+      const double nd = dist[arc.tail] + arc.weight;
+      if (nd < dist[arc.head]) {
+        dist[arc.head] = nd;
+        parent_arc[arc.head] = a;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return dist[dst] != kInf;
+}
+
+// Applies one augmenting path to the segment states: a residual arc over an
+// unused segment claims it in the traversed direction; one over a used
+// segment is the interlacing step and cancels it.
+void augment(FlowGraph& g, std::size_t src, std::size_t dst,
+             const std::vector<std::size_t>& parent_arc) {
+  std::size_t cursor = dst;
+  while (cursor != src) {
+    const FlowGraph::Arc& arc = g.arcs[parent_arc[cursor]];
+    Segment& seg = g.segments[arc.segment];
+    seg.state = seg.state == 0 ? arc.direction : 0;
+    cursor = arc.tail;
+  }
+}
+
+// Decomposes the used segment set into disjoint paths src -> dst.  Every
+// intermediate node has balanced in/out degree and src has out-degree equal
+// to the path count, so repeatedly walking from src — always taking the
+// smallest-index unconsumed outgoing segment — peels off one path at a time
+// deterministically.
+std::vector<std::vector<std::size_t>> decompose(FlowGraph& g, std::size_t src,
+                                                std::size_t dst) {
+  // Outgoing used segments per node, ascending head index.
+  struct Out {
+    std::size_t head;
+    std::size_t segment;
+  };
+  std::vector<std::vector<Out>> out(g.nodes);
+  for (std::size_t s = 0; s < g.segments.size(); ++s) {
+    const Segment& seg = g.segments[s];
+    if (seg.state > 0) out[seg.from].push_back({seg.to, s});
+    if (seg.state < 0) out[seg.to].push_back({seg.from, s});
+  }
+  for (auto& v : out) {
+    std::sort(v.begin(), v.end(), [](const Out& a, const Out& b) {
+      if (a.head != b.head) return a.head < b.head;
+      return a.segment < b.segment;
+    });
+  }
+  std::vector<std::vector<std::size_t>> paths;
+  while (!out[src].empty()) {
+    std::vector<std::size_t> nodes;
+    nodes.push_back(src);
+    std::size_t cursor = src;
+    while (cursor != dst) {
+      PATHSEL_EXPECT(!out[cursor].empty(),
+                     "disjoint decomposition: unbalanced flow");
+      const Out next = out[cursor].front();
+      out[cursor].erase(out[cursor].begin());
+      cursor = next.head;
+      nodes.push_back(cursor);
+    }
+    paths.push_back(std::move(nodes));
+  }
+  return paths;
+}
+
+struct PairScratch {
+  FlowGraph graph;
+  std::vector<double> dist;
+  std::vector<std::size_t> parent_arc;
+};
+
+// Builds the per-pair flow graph: all measured edges except the direct one,
+// optionally with node splitting.  Node ids are host indices (link mode) or
+// 2*host(+1) entry/exit pairs (node mode); src/dst never split.
+void build_graph(const PathTable& table, const PathEdge& direct,
+                 DisjointMode mode, Metric metric, FlowGraph& g,
+                 std::size_t& src, std::size_t& dst) {
+  const std::size_t n = table.hosts().size();
+  const std::size_t ia = table.host_index(direct.a);
+  const std::size_t ib = table.host_index(direct.b);
+  g.segments.clear();
+  if (mode == DisjointMode::kLinkDisjoint) {
+    g.nodes = n;
+    src = ia;
+    dst = ib;
+    for (const PathEdge& e : table.edges()) {
+      if (&e == &direct) continue;
+      g.segments.push_back({table.host_index(e.a), table.host_index(e.b),
+                            edge_weight(e, metric), &e, 0, false});
+    }
+  } else {
+    // Entry node 2i, exit node 2i+1; the zero-weight directed splitting
+    // segment entry -> exit carries at most one path through each
+    // intermediate host.  src and dst stay unsplit (every path shares the
+    // endpoints by definition): paths leave from src's exit node and arrive
+    // at dst's entry node, and the unused opposite halves are harmless dead
+    // nodes.  Each measured edge becomes two directed segments, one per
+    // traversal direction — opposite-direction reuse by two different
+    // paths is already impossible through the endpoint splits.
+    g.nodes = 2 * n;
+    src = 2 * ia + 1;
+    dst = 2 * ib;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == ia || i == ib) continue;
+      g.segments.push_back({2 * i, 2 * i + 1, 0.0, nullptr, 0, true});
+    }
+    for (const PathEdge& e : table.edges()) {
+      if (&e == &direct) continue;
+      const std::size_t ea = table.host_index(e.a);
+      const std::size_t eb = table.host_index(e.b);
+      const double w = edge_weight(e, metric);
+      g.segments.push_back({2 * ea + 1, 2 * eb, w, &e, 0, true});
+      g.segments.push_back({2 * eb + 1, 2 * ea, w, &e, 0, true});
+    }
+  }
+  g.rebuild_arcs();
+}
+
+// Maps a decomposed node walk back to hosts, skipping split-node
+// duplicates, and composes the metric along its measured edges.
+DisjointPath finish_path(const PathTable& table, DisjointMode mode,
+                         Metric metric, const std::vector<std::size_t>& walk) {
+  std::vector<std::size_t> host_indices;
+  for (const std::size_t node : walk) {
+    const std::size_t host =
+        mode == DisjointMode::kLinkDisjoint ? node : node / 2;
+    if (host_indices.empty() || host_indices.back() != host) {
+      host_indices.push_back(host);
+    }
+  }
+  DisjointPath out;
+  std::vector<const PathEdge*> edges;
+  edges.reserve(host_indices.size() - 1);
+  for (std::size_t i = 0; i + 1 < host_indices.size(); ++i) {
+    const PathEdge* e = table.find(table.hosts()[host_indices[i]],
+                                   table.hosts()[host_indices[i + 1]]);
+    PATHSEL_EXPECT(e != nullptr, "disjoint path crosses an unmeasured edge");
+    edges.push_back(e);
+  }
+  for (std::size_t i = 1; i + 1 < host_indices.size(); ++i) {
+    out.via.push_back(table.hosts()[host_indices[i]]);
+  }
+  out.value = compose_metric(edges, metric);
+  return out;
+}
+
+PairDisjointResult analyze_pair(const PathTable& table, const PathEdge& direct,
+                                const DisjointOptions& options,
+                                PairScratch& scratch) {
+  PairDisjointResult result;
+  result.a = direct.a;
+  result.b = direct.b;
+  result.default_value = edge_metric_value(direct, options.metric);
+  result.requested_k = options.k;
+
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  build_graph(table, direct, options.mode, options.metric, scratch.graph, src,
+              dst);
+
+  for (int j = 0; j < options.k; ++j) {
+    if (!bellman_ford(scratch.graph, src, dst, scratch.dist,
+                      scratch.parent_arc)) {
+      break;  // the mesh holds no further disjoint path — a data limit
+    }
+    augment(scratch.graph, src, dst, scratch.parent_arc);
+    scratch.graph.rebuild_arcs();
+  }
+
+  for (const Segment& seg : scratch.graph.segments) {
+    if (seg.state != 0 && seg.edge != nullptr) {
+      result.total_weight += seg.weight;
+    }
+  }
+  for (const std::vector<std::size_t>& walk :
+       decompose(scratch.graph, src, dst)) {
+    result.paths.push_back(
+        finish_path(table, options.mode, options.metric, walk));
+  }
+  std::sort(result.paths.begin(), result.paths.end(),
+            [](const DisjointPath& x, const DisjointPath& y) {
+              if (x.value != y.value) return x.value < y.value;
+              return x.via < y.via;
+            });
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(DisjointMode mode) noexcept {
+  return mode == DisjointMode::kLinkDisjoint ? "link" : "node";
+}
+
+Status validate_disjoint_k(int k, std::size_t hosts) {
+  if (k < 1) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "disjoint k must be at least 1 (got " +
+                             std::to_string(k) + ")");
+  }
+  if (hosts < 3 || static_cast<std::size_t>(k) > hosts - 2) {
+    return Status::error(
+        ErrorCode::kInvalidArgument,
+        "disjoint k=" + std::to_string(k) +
+            " exceeds the graph's disjoint-path ceiling of N-2 = " +
+            (hosts < 2 ? std::string{"0"} : std::to_string(hosts - 2)) +
+            " for N = " + std::to_string(hosts) +
+            " hosts; request a smaller k");
+  }
+  return Status::ok();
+}
+
+Result<std::vector<PairDisjointResult>> compute_disjoint_alternates(
+    const PathTable& table, const DisjointOptions& options) {
+  const Status valid = validate_disjoint_k(options.k, table.hosts().size());
+  if (!valid.is_ok()) return valid;
+
+  const std::uint64_t sweep_start = wall_clock_ns();
+  std::vector<PairDisjointResult> results;
+  {
+    const ScopedTimer timer{"core.disjoint.sweep"};
+    // Chunk size is fixed so chunk boundaries — and therefore the merged
+    // output — do not depend on the thread count.
+    constexpr std::size_t kChunk = 16;
+    ThreadPool& pool = ThreadPool::shared(resolve_thread_count(options.threads));
+    Result<std::vector<PairDisjointResult>> swept =
+        pool.map_chunks<PairDisjointResult>(
+            table.edges().size(), kChunk,
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+              PairScratch scratch;
+              std::vector<PairDisjointResult> local;
+              local.reserve(end - begin);
+              for (std::size_t i = begin; i < end; ++i) {
+                local.push_back(
+                    analyze_pair(table, table.edges()[i], options, scratch));
+              }
+              return local;
+            },
+            options.cancel);
+    if (!swept.is_ok()) return swept.status();
+    results = std::move(swept.value());
+  }
+
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (m.enabled()) {
+    std::size_t found = 0;
+    std::size_t disconnected = 0;
+    for (const PairDisjointResult& r : results) {
+      found += r.paths.size();
+      if (r.paths.empty()) ++disconnected;
+    }
+    m.count("core.disjoint.sweeps");
+    m.count("core.disjoint.pairs", results.size());
+    m.count("core.disjoint.paths_found", found);
+    m.count("core.disjoint.pairs_disconnected", disconnected);
+    m.observe("core.disjoint.sweep_ms",
+              static_cast<double>(wall_clock_ns() - sweep_start) / 1e6);
+  }
+  return results;
+}
+
+}  // namespace pathsel::core

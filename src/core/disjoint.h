@@ -1,0 +1,106 @@
+// k-disjoint alternate paths — Suurballe/Bhandari over the measured mesh.
+//
+// The alternate-path analysis (core/alternate.h) answers "is there a better
+// path than the default?"; this module answers the availability question the
+// Qazi & Moors line of work raises: does the alternate you precomputed
+// *survive* the failure that made you need it?  For every measured host pair
+// (A, B) it computes up to k mutually link-disjoint (or node-disjoint, via
+// node splitting) alternate paths avoiding the direct edge, minimizing the
+// total additive weight over the same per-metric weight space the dense
+// kernel and the reference search share (core/alternate.h edge_weight:
+// RTT/propagation add, loss composes in -log(1-p) space).
+//
+// Algorithm: Bhandari's successive-shortest-paths formulation of Suurballe.
+// Each undirected overlay edge becomes an arc pair; after each shortest path
+// is found, its arcs are removed and their reverses negated, so the next
+// Bellman-Ford iteration can "cancel" a previously used edge (the
+// interlacing step).  After j iterations the surviving arc set decomposes
+// into exactly j pairwise disjoint paths whose total weight is minimal over
+// all sets of j disjoint paths — the classic min-cost-flow guarantee, which
+// the differential test suite checks against brute-force enumeration.
+//
+// Determinism: Bellman-Ford relaxes arcs in ascending (from, to) order with
+// strict-< improvement, path decomposition always follows the
+// smallest-index surviving arc, and the per-pair sweep runs on the shared
+// ThreadPool in fixed-size chunks merged in index order — results are
+// bit-identical for every thread count (same convention as the alternate
+// sweep and the dense kernel).
+#pragma once
+
+#include <vector>
+
+#include "core/alternate.h"
+#include "core/path_table.h"
+
+namespace pathsel::core {
+
+enum class DisjointMode {
+  /// Paths share no undirected overlay edge (measured host pair).
+  kLinkDisjoint,
+  /// Paths additionally share no intermediate host (node splitting).
+  kNodeDisjoint,
+};
+
+[[nodiscard]] const char* to_string(DisjointMode mode) noexcept;
+
+struct DisjointOptions {
+  Metric metric = Metric::kRtt;
+  /// Number of mutually disjoint alternates requested per pair; must satisfy
+  /// 1 <= k <= hosts - 2 (see validate_disjoint_k).
+  int k = 2;
+  DisjointMode mode = DisjointMode::kLinkDisjoint;
+  /// Worker threads for the per-pair sweep; <= 0 means
+  /// util::default_thread_count(), 1 forces the serial path.  Results are
+  /// bit-identical for every thread count.
+  int threads = 0;
+  /// Optional cancellation; polled before every sweep chunk.
+  const CancelToken* cancel = nullptr;
+};
+
+/// One disjoint alternate path for a pair.
+struct DisjointPath {
+  /// Composed metric value (additive for RTT/propagation, 1 - prod(1 - p)
+  /// for loss) — directly comparable to PairResult::alternate_value.
+  double value = 0.0;
+  /// Intermediate hosts in order from a to b (empty never occurs: the
+  /// direct edge is excluded, so every alternate has at least one relay).
+  std::vector<topo::HostId> via;
+};
+
+/// Disjoint alternates for one measured pair.  found_k() may be smaller
+/// than requested_k when the mesh simply has fewer disjoint paths (a
+/// graph-theoretic limit, reported rather than erred on); zero means the
+/// pair is disconnected once the direct edge is removed.
+struct PairDisjointResult {
+  topo::HostId a;
+  topo::HostId b;
+  double default_value = 0.0;
+  int requested_k = 0;
+  /// Found paths sorted best-first (by composed value, then lexicographic
+  /// relay sequence).  Pairwise link-/node-disjoint per DisjointOptions.
+  std::vector<DisjointPath> paths;
+  /// Sum of additive weights over all found paths — the Suurballe objective
+  /// (minimal over every set of found_k() disjoint paths).
+  double total_weight = 0.0;
+
+  [[nodiscard]] int found_k() const noexcept {
+    return static_cast<int>(paths.size());
+  }
+};
+
+/// Validates a requested k against the graph size: a simple graph on N
+/// hosts cannot hold more than N - 2 paths between a pair that are mutually
+/// disjoint *and* avoid the direct edge, so larger requests are caller
+/// errors (kInvalidArgument), not quietly truncated output.
+[[nodiscard]] Status validate_disjoint_k(int k, std::size_t hosts);
+
+/// Computes up to k disjoint alternates for every measured pair.  Pairs
+/// appear in table.edges() order; disconnected pairs are included with an
+/// empty path list so "requested k / found k" accounting sees them.
+/// Cancellation surfaces as kDeadlineExceeded/kCancelled with partial
+/// results discarded; an invalid k surfaces as kInvalidArgument.
+[[nodiscard]] Result<std::vector<PairDisjointResult>>
+compute_disjoint_alternates(const PathTable& table,
+                            const DisjointOptions& options = {});
+
+}  // namespace pathsel::core

@@ -135,6 +135,11 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     }
 
     const MaterializedSpec mat = catalog.materialize(spec);
+    // Campaign-level analysis modes participate in the checkpoint identity:
+    // resuming a --disjoint 3 campaign from a --disjoint 2 (or plain)
+    // checkpoint must be rejected as stale, not spliced.
+    const std::uint64_t fingerprint = fold_fingerprint(
+        mat.fingerprint, static_cast<std::uint64_t>(options.disjoint_k));
     CollectControls controls;
     controls.cancel = options.cancel;
     std::optional<CampaignCheckpoint> resume_from;
@@ -144,9 +149,9 @@ CampaignReport run_campaign(const CampaignOptions& options) {
               ? options.checkpoint_interval
               : mat.config.duration * 0.125;
       controls.on_checkpoint =
-          [&store, &mat, &checkpoint_writes,
+          [&store, &mat, fingerprint, &checkpoint_writes,
            &options](const CampaignCheckpoint& cp) -> Status {
-        const Status saved = store.save(cp, mat.config.kind, mat.fingerprint);
+        const Status saved = store.save(cp, mat.config.kind, fingerprint);
         if (!saved.is_ok()) return saved;
         ++checkpoint_writes;
         if (options.after_checkpoint) options.after_checkpoint(checkpoint_writes);
@@ -154,7 +159,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       };
       if (options.resume) {
         CheckpointLoad load = load_newest_checkpoint(
-            options.checkpoint_dir, name, mat.config.kind, mat.fingerprint);
+            options.checkpoint_dir, name, mat.config.kind, fingerprint);
         for (std::string& reason : load.discarded) {
           report.notes.push_back("discarded checkpoint: " + reason);
         }

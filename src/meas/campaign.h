@@ -48,6 +48,12 @@ struct CampaignOptions {
   /// each dataset's trace duration.
   Duration checkpoint_interval{};
   const CancelToken* cancel = nullptr;
+  /// Disjoint-alternates analysis mode the caller will run on the outputs
+  /// (pathsel_cli campaign --disjoint k); 0 means none.  The campaign itself
+  /// does not compute disjoint paths — the value exists so the checkpoint
+  /// fingerprint binds to it and a resume under a different k is rejected as
+  /// stale rather than spliced into the new analysis.
+  int disjoint_k = 0;
   /// Test hook, called after every successful checkpoint write with the
   /// total number of writes so far (kill-and-resume tests crash here).
   std::function<void(std::size_t)> after_checkpoint;

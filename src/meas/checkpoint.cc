@@ -152,6 +152,11 @@ std::vector<ManifestEntry> read_manifest_entries(const std::string& dir) {
 
 }  // namespace
 
+std::uint64_t fold_fingerprint(std::uint64_t base, std::uint64_t value) {
+  std::uint64_t h = base;
+  return mix(h, value);
+}
+
 std::uint64_t checkpoint_fingerprint(std::string_view dataset,
                                      const CollectorConfig& config,
                                      std::span<const topo::HostId> hosts) {

@@ -37,6 +37,16 @@ namespace pathsel::meas {
     std::string_view dataset, const CollectorConfig& config,
     std::span<const topo::HostId> hosts);
 
+/// Folds one more configuration value into a fingerprint, with the same
+/// mixing discipline checkpoint_fingerprint uses internally.  Layers above
+/// the collector (campaign-level analysis modes such as --disjoint k) use
+/// this to bind their own knobs into the checkpoint identity, so a resume
+/// under a different mode is rejected as stale instead of splicing
+/// incompatible runs.  Folding is order-sensitive and never a no-op: fold
+/// every mode-relevant value, including the mode's "off" encoding.
+[[nodiscard]] std::uint64_t fold_fingerprint(std::uint64_t base,
+                                             std::uint64_t value);
+
 /// Serializes a checkpoint to the self-validating text format (payload +
 /// trailing "crc" line).
 [[nodiscard]] std::string serialize_checkpoint(const CampaignCheckpoint& cp,

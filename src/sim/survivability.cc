@@ -1,0 +1,209 @@
+#include "sim/survivability.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/expect.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace pathsel::sim {
+
+namespace {
+
+// Every instant at which some hop's status could change: routing
+// transitions (routed paths change), physical link boundaries (blackhole
+// status changes) and host crash boundaries — ascending, deduplicated,
+// clipped to [start, end).  The replay evaluates each [t_i, t_i+1) segment
+// at t_i; by construction the answer is constant over the segment.
+std::vector<SimTime> build_timeline(const FaultPlan& plan,
+                                    const topo::Topology& topo) {
+  const SimTime start = SimTime::start();
+  const SimTime end = start + plan.trace_duration();
+  std::vector<SimTime> times;
+  times.push_back(start);
+  for (const SimTime t : plan.routing_transitions()) times.push_back(t);
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    for (const FaultInterval& w : plan.link_down_intervals(
+             topo::LinkId{static_cast<std::int32_t>(i)})) {
+      times.push_back(w.begin);
+      times.push_back(w.end);
+    }
+  }
+  for (std::size_t i = 0; i < topo.host_count(); ++i) {
+    for (const FaultInterval& w : plan.host_down_intervals(
+             topo::HostId{static_cast<std::int32_t>(i)})) {
+      times.push_back(w.begin);
+      times.push_back(w.end);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  std::erase_if(times, [&](SimTime t) { return t < start || t >= end; });
+  return times;
+}
+
+std::uint64_t hop_key(topo::HostId u, topo::HostId v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u.value()))
+          << 32) |
+         static_cast<std::uint32_t>(v.value());
+}
+
+// Per-path (or per-group) accumulator across segments.
+struct RunningAvailability {
+  Duration downtime{};
+  std::int64_t outages = 0;
+  bool was_up = true;
+
+  void account(bool up, Duration segment) {
+    if (!up) {
+      downtime = downtime + segment;
+      if (was_up) ++outages;
+    }
+    was_up = up;
+  }
+
+  [[nodiscard]] PathAvailability finish(std::string label,
+                                        Duration trace) const {
+    PathAvailability out;
+    out.label = std::move(label);
+    out.downtime = downtime;
+    out.outages = outages;
+    out.availability =
+        1.0 - downtime.total_seconds() / trace.total_seconds();
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<PairSurvivability>> replay_survivability(
+    const Network& network, const FaultPlan& plan,
+    const std::vector<PairSpec>& pairs, const SurvivabilityOptions& options) {
+  const Duration trace = plan.trace_duration();
+  if (trace <= Duration{}) {
+    return Status::error(
+        ErrorCode::kInvalidArgument,
+        "survivability replay needs a plan with a positive trace duration; "
+        "construct zero-intensity plans via FaultConfig::at_intensity(0)");
+  }
+  for (const PairSpec& spec : pairs) {
+    for (const OverlayPath& p : spec.paths) {
+      if (p.hops.size() < 2) {
+        return Status::error(ErrorCode::kInvalidArgument,
+                             "overlay path '" + p.label +
+                                 "' has fewer than two hosts");
+      }
+    }
+    for (const PathGroup& g : spec.groups) {
+      for (const std::size_t m : g.members) {
+        if (m >= spec.paths.size()) {
+          return Status::error(ErrorCode::kInvalidArgument,
+                               "path group '" + g.label +
+                                   "' references a path out of range");
+        }
+      }
+    }
+  }
+
+  const std::vector<SimTime> timeline =
+      build_timeline(plan, network.topology());
+  const SimTime end = SimTime::start() + trace;
+
+  const std::uint64_t replay_start = wall_clock_ns();
+  std::vector<PairSurvivability> results;
+  {
+    const ScopedTimer timer{"sim.survivability.replay"};
+    // Fixed chunks keep the merged output independent of the thread count;
+    // each chunk walks the whole timeline once with its own injector, so
+    // per-pair results are a pure function of (plan, spec).
+    constexpr std::size_t kChunk = 8;
+    ThreadPool& pool = ThreadPool::shared(resolve_thread_count(options.threads));
+    Result<std::vector<PairSurvivability>> swept =
+        pool.map_chunks<PairSurvivability>(
+            pairs.size(), kChunk,
+            [&](std::size_t begin, std::size_t chunk_end, std::size_t) {
+              FaultInjector injector{network, plan};
+              std::vector<std::vector<RunningAvailability>> path_acc;
+              std::vector<std::vector<RunningAvailability>> group_acc;
+              for (std::size_t i = begin; i < chunk_end; ++i) {
+                path_acc.emplace_back(pairs[i].paths.size());
+                group_acc.emplace_back(pairs[i].groups.size());
+              }
+              std::unordered_map<std::uint64_t, bool> hop_up;
+              std::vector<char> path_state;
+              for (std::size_t s = 0; s < timeline.size(); ++s) {
+                const SimTime t = timeline[s];
+                const Duration seg =
+                    (s + 1 < timeline.size() ? timeline[s + 1] : end) - t;
+                injector.advance_to(t);
+                hop_up.clear();
+                for (std::size_t i = begin; i < chunk_end; ++i) {
+                  const PairSpec& spec = pairs[i];
+                  path_state.assign(spec.paths.size(), 0);
+                  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+                    bool up = true;
+                    const std::vector<topo::HostId>& hops = spec.paths[p].hops;
+                    for (std::size_t h = 0; h + 1 < hops.size() && up; ++h) {
+                      const std::uint64_t key = hop_key(hops[h], hops[h + 1]);
+                      auto it = hop_up.find(key);
+                      if (it == hop_up.end()) {
+                        bool hup = !plan.host_crashed(hops[h], t) &&
+                                   !plan.host_crashed(hops[h + 1], t);
+                        if (hup) {
+                          const route::RouterPath& rp =
+                              injector.effective_path(hops[h], hops[h + 1]);
+                          hup = rp.valid() && !injector.blackholed(rp, t);
+                        }
+                        it = hop_up.emplace(key, hup).first;
+                      }
+                      up = it->second;
+                    }
+                    path_state[p] = up ? 1 : 0;
+                    path_acc[i - begin][p].account(up, seg);
+                  }
+                  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+                    bool up = false;
+                    for (const std::size_t m : spec.groups[g].members) {
+                      if (path_state[m] != 0) {
+                        up = true;
+                        break;
+                      }
+                    }
+                    group_acc[i - begin][g].account(up, seg);
+                  }
+                }
+              }
+              std::vector<PairSurvivability> local;
+              local.reserve(chunk_end - begin);
+              for (std::size_t i = begin; i < chunk_end; ++i) {
+                PairSurvivability r;
+                for (std::size_t p = 0; p < pairs[i].paths.size(); ++p) {
+                  r.paths.push_back(path_acc[i - begin][p].finish(
+                      pairs[i].paths[p].label, trace));
+                }
+                for (std::size_t g = 0; g < pairs[i].groups.size(); ++g) {
+                  r.groups.push_back(group_acc[i - begin][g].finish(
+                      pairs[i].groups[g].label, trace));
+                }
+                local.push_back(std::move(r));
+              }
+              return local;
+            },
+            options.cancel);
+    if (!swept.is_ok()) return swept.status();
+    results = std::move(swept.value());
+  }
+
+  MetricsRegistry& m = MetricsRegistry::global();
+  if (m.enabled()) {
+    m.count("sim.survivability.replays");
+    m.count("sim.survivability.pairs", pairs.size());
+    m.count("sim.survivability.segments", timeline.size());
+    m.observe("sim.survivability.replay_ms",
+              static_cast<double>(wall_clock_ns() - replay_start) / 1e6);
+  }
+  return results;
+}
+
+}  // namespace pathsel::sim

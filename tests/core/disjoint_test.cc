@@ -1,0 +1,494 @@
+// Suurballe/Bhandari k-disjoint alternates: differential tests against
+// brute-force path enumeration, degenerate graphs, and the determinism /
+// thread-invariance contract.
+#include "core/disjoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "core/alternate.h"
+#include "test_util.h"
+#include "util/metrics.h"
+
+namespace pathsel::core {
+namespace {
+
+using test::add_invocation;
+using test::add_invocations;
+using test::make_dataset;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Triangle: direct 0-1 slow (100 ms), detour 0-2-1 fast (30 + 30 ms).
+PathTable triangle_table() {
+  auto ds = make_dataset(3);
+  add_invocations(ds, 0, 1, 100.0, 5);
+  add_invocations(ds, 0, 2, 30.0, 5);
+  add_invocations(ds, 2, 1, 30.0, 5);
+  return PathTable::build(ds, test::min_samples(1));
+}
+
+const PairDisjointResult* find_pair(
+    const std::vector<PairDisjointResult>& results, int a, int b) {
+  for (const PairDisjointResult& r : results) {
+    if (r.a == topo::HostId{a} && r.b == topo::HostId{b}) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Brute force reference: enumerate all simple alternate paths, then find the
+// largest j <= k admitting a mutually disjoint j-subset and the minimal
+// total weight over those subsets.
+
+struct RefPath {
+  std::vector<std::size_t> edges;  // indices into table.edges()
+  std::vector<std::size_t> nodes;  // host indices, endpoints included
+  double weight = 0.0;
+};
+
+void enumerate_paths(const PathTable& table, std::size_t direct,
+                     Metric metric, std::size_t src, std::size_t dst,
+                     std::vector<RefPath>& out) {
+  const std::size_t n = table.hosts().size();
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n);
+  for (std::size_t e = 0; e < table.edges().size(); ++e) {
+    if (e == direct) continue;
+    const PathEdge& edge = table.edges()[e];
+    const std::size_t ia = table.host_index(edge.a);
+    const std::size_t ib = table.host_index(edge.b);
+    adj[ia].push_back({ib, e});
+    adj[ib].push_back({ia, e});
+  }
+  std::vector<char> visited(n, 0);
+  RefPath current;
+  current.nodes.push_back(src);
+  visited[src] = 1;
+  auto dfs = [&](auto&& self, std::size_t at) -> void {
+    if (at == dst) {
+      out.push_back(current);
+      return;
+    }
+    for (const auto& [next, e] : adj[at]) {
+      if (visited[next]) continue;
+      visited[next] = 1;
+      current.nodes.push_back(next);
+      current.edges.push_back(e);
+      current.weight += edge_weight(table.edges()[e], metric);
+      self(self, next);
+      current.weight -= edge_weight(table.edges()[e], metric);
+      current.edges.pop_back();
+      current.nodes.pop_back();
+      visited[next] = 0;
+    }
+  };
+  dfs(dfs, src);
+}
+
+bool compatible(const RefPath& a, const RefPath& b, DisjointMode mode,
+                std::size_t src, std::size_t dst) {
+  for (const std::size_t e : a.edges) {
+    if (std::find(b.edges.begin(), b.edges.end(), e) != b.edges.end()) {
+      return false;
+    }
+  }
+  if (mode == DisjointMode::kNodeDisjoint) {
+    for (const std::size_t v : a.nodes) {
+      if (v == src || v == dst) continue;
+      if (std::find(b.nodes.begin(), b.nodes.end(), v) != b.nodes.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Minimal total weight over all mutually disjoint subsets of exactly
+// `target` paths; kInf when no such subset exists.
+double best_subset(const std::vector<RefPath>& paths, DisjointMode mode,
+                   std::size_t src, std::size_t dst, std::size_t target) {
+  double best = kInf;
+  std::vector<std::size_t> chosen;
+  auto rec = [&](auto&& self, std::size_t from, double weight) -> void {
+    if (chosen.size() == target) {
+      best = std::min(best, weight);
+      return;
+    }
+    for (std::size_t i = from; i < paths.size(); ++i) {
+      bool ok = true;
+      for (const std::size_t c : chosen) {
+        if (!compatible(paths[i], paths[c], mode, src, dst)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      chosen.push_back(i);
+      self(self, i + 1, weight + paths[i].weight);
+      chosen.pop_back();
+    }
+  };
+  rec(rec, 0, 0.0);
+  return best;
+}
+
+// Sparse seeded random graph as a dataset: every present edge gets enough
+// invocations to pass the min_samples(1) filter, rtt uniform in [10, 200),
+// a third of the samples lost so the loss metric is non-trivial.
+meas::Dataset random_dataset(int hosts, double edge_prob,
+                             std::uint64_t seed) {
+  auto ds = make_dataset(hosts);
+  std::mt19937_64 rng{seed};
+  std::uniform_real_distribution<double> uniform{0.0, 1.0};
+  for (int a = 0; a < hosts; ++a) {
+    for (int b = a + 1; b < hosts; ++b) {
+      if (uniform(rng) >= edge_prob) continue;
+      const double rtt = 10.0 + 190.0 * uniform(rng);
+      const bool lossy = uniform(rng) < 0.5;
+      add_invocation(ds, a, b, {rtt, rtt, rtt});
+      add_invocation(ds, a, b,
+                     lossy ? std::initializer_list<double>{-1.0, rtt, rtt}
+                           : std::initializer_list<double>{rtt, rtt, rtt});
+    }
+  }
+  return ds;
+}
+
+// Returns the number of pairs actually cross-checked so callers can assert
+// the differential was not vacuous.
+std::size_t check_against_brute_force(const PathTable& table, Metric metric,
+                                      DisjointMode mode, int k) {
+  std::size_t checked = 0;
+  DisjointOptions options;
+  options.metric = metric;
+  options.mode = mode;
+  options.k = k;
+  options.threads = 1;
+  const auto swept = compute_disjoint_alternates(table, options);
+  EXPECT_TRUE(swept.is_ok()) << swept.status().to_string();
+  if (!swept.is_ok()) return 0;
+  EXPECT_EQ(swept.value().size(), table.edges().size());
+  if (swept.value().size() != table.edges().size()) return 0;
+  for (std::size_t i = 0; i < table.edges().size(); ++i) {
+    const PathEdge& edge = table.edges()[i];
+    const std::size_t src = table.host_index(edge.a);
+    const std::size_t dst = table.host_index(edge.b);
+    std::vector<RefPath> all;
+    enumerate_paths(table, i, metric, src, dst, all);
+    if (all.size() > 400) continue;  // keep the subset search bounded
+    const PairDisjointResult& r = swept.value()[i];
+    // Largest feasible disjoint set size, capped at k.
+    int expect_found = 0;
+    double expect_weight = 0.0;
+    for (int j = k; j >= 1; --j) {
+      const double w = best_subset(all, mode, src, dst,
+                                   static_cast<std::size_t>(j));
+      if (w < kInf) {
+        expect_found = j;
+        expect_weight = w;
+        break;
+      }
+    }
+    EXPECT_EQ(r.found_k(), expect_found)
+        << "pair " << edge.a.value() << "-" << edge.b.value();
+    if (expect_found > 0) {
+      EXPECT_NEAR(r.total_weight, expect_weight,
+                  1e-9 * std::max(1.0, expect_weight))
+          << "pair " << edge.a.value() << "-" << edge.b.value();
+    }
+    // The returned paths must actually be pairwise disjoint.
+    for (std::size_t p = 0; p < r.paths.size(); ++p) {
+      for (std::size_t q = p + 1; q < r.paths.size(); ++q) {
+        std::vector<topo::HostId> shared;
+        for (const topo::HostId h : r.paths[p].via) {
+          if (std::find(r.paths[q].via.begin(), r.paths[q].via.end(), h) !=
+              r.paths[q].via.end()) {
+            shared.push_back(h);
+          }
+        }
+        if (mode == DisjointMode::kNodeDisjoint) {
+          EXPECT_TRUE(shared.empty());
+        }
+      }
+    }
+    ++checked;
+  }
+  return checked;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Disjoint, ValidateKRejectsOutOfRange) {
+  EXPECT_FALSE(validate_disjoint_k(0, 10).is_ok());
+  EXPECT_FALSE(validate_disjoint_k(-3, 10).is_ok());
+  EXPECT_TRUE(validate_disjoint_k(1, 3).is_ok());
+  EXPECT_FALSE(validate_disjoint_k(2, 3).is_ok());  // N-2 = 1
+  EXPECT_TRUE(validate_disjoint_k(8, 10).is_ok());
+  EXPECT_FALSE(validate_disjoint_k(9, 10).is_ok());
+  EXPECT_FALSE(validate_disjoint_k(1, 2).is_ok());  // no relay exists
+  const Status s = validate_disjoint_k(5, 4);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Disjoint, ComputeRejectsInvalidK) {
+  const auto swept =
+      compute_disjoint_alternates(triangle_table(), {.k = 2});
+  ASSERT_FALSE(swept.is_ok());
+  EXPECT_EQ(swept.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Disjoint, TriangleSingleAlternate) {
+  const auto swept =
+      compute_disjoint_alternates(triangle_table(), {.k = 1});
+  ASSERT_TRUE(swept.is_ok());
+  const PairDisjointResult* r = find_pair(swept.value(), 0, 1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->default_value, 100.0);
+  EXPECT_EQ(r->found_k(), 1);
+  EXPECT_EQ(r->requested_k, 1);
+  ASSERT_EQ(r->paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->paths[0].value, 60.0);
+  ASSERT_EQ(r->paths[0].via.size(), 1u);
+  EXPECT_EQ(r->paths[0].via[0], topo::HostId{2});
+}
+
+TEST(Disjoint, ReportsFewerThanRequested) {
+  // A 4-host triangle+tail so k=2 passes validation, but the 0-1 pair still
+  // has exactly one alternate: found_k < requested_k is data, not an error.
+  auto ds = make_dataset(4);
+  add_invocations(ds, 0, 1, 100.0, 2);
+  add_invocations(ds, 0, 2, 30.0, 2);
+  add_invocations(ds, 2, 1, 30.0, 2);
+  add_invocations(ds, 2, 3, 10.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto swept = compute_disjoint_alternates(table, {.k = 2});
+  ASSERT_TRUE(swept.is_ok());
+  const PairDisjointResult* r = find_pair(swept.value(), 0, 1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->requested_k, 2);
+  EXPECT_EQ(r->found_k(), 1);
+}
+
+TEST(Disjoint, DisconnectedPairReportedEmpty) {
+  // Path graph 0-1-2: removing the direct edge disconnects each pair.
+  auto ds = make_dataset(3);
+  add_invocations(ds, 0, 1, 10.0, 2);
+  add_invocations(ds, 1, 2, 10.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto swept = compute_disjoint_alternates(table, {.k = 1});
+  ASSERT_TRUE(swept.is_ok());
+  ASSERT_EQ(swept.value().size(), 2u);
+  for (const PairDisjointResult& r : swept.value()) {
+    EXPECT_EQ(r.found_k(), 0);
+    EXPECT_TRUE(r.paths.empty());
+    EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+  }
+}
+
+TEST(Disjoint, BridgeOnlyGraphHasNoDisjointAlternate) {
+  // Two triangles joined by a bridge 2-3: the bridge pair loses all
+  // connectivity when its direct edge is removed.
+  auto ds = make_dataset(6);
+  add_invocations(ds, 0, 1, 10.0, 2);
+  add_invocations(ds, 1, 2, 10.0, 2);
+  add_invocations(ds, 2, 0, 10.0, 2);
+  add_invocations(ds, 3, 4, 10.0, 2);
+  add_invocations(ds, 4, 5, 10.0, 2);
+  add_invocations(ds, 5, 3, 10.0, 2);
+  add_invocations(ds, 2, 3, 50.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto swept = compute_disjoint_alternates(table, {.k = 2});
+  ASSERT_TRUE(swept.is_ok());
+  const PairDisjointResult* bridge = find_pair(swept.value(), 2, 3);
+  ASSERT_NE(bridge, nullptr);
+  EXPECT_EQ(bridge->found_k(), 0);
+  // In-triangle pairs keep their single alternate.
+  const PairDisjointResult* tri = find_pair(swept.value(), 0, 1);
+  ASSERT_NE(tri, nullptr);
+  EXPECT_EQ(tri->found_k(), 1);
+}
+
+TEST(Disjoint, NodeModeForbidsSharedRelay) {
+  // Two link-disjoint alternates for 0-1 share relay 2: 0-2-1 and
+  // 0-3-2-4-1.  Link mode finds both; node mode must drop to one.
+  auto ds = make_dataset(5);
+  add_invocations(ds, 0, 1, 100.0, 2);
+  add_invocations(ds, 0, 2, 10.0, 2);
+  add_invocations(ds, 2, 1, 10.0, 2);
+  add_invocations(ds, 0, 3, 10.0, 2);
+  add_invocations(ds, 3, 2, 10.0, 2);
+  add_invocations(ds, 2, 4, 10.0, 2);
+  add_invocations(ds, 4, 1, 10.0, 2);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+
+  const auto link = compute_disjoint_alternates(
+      table, {.k = 2, .mode = DisjointMode::kLinkDisjoint});
+  ASSERT_TRUE(link.is_ok());
+  const PairDisjointResult* rl = find_pair(link.value(), 0, 1);
+  ASSERT_NE(rl, nullptr);
+  EXPECT_EQ(rl->found_k(), 2);
+
+  const auto node = compute_disjoint_alternates(
+      table, {.k = 2, .mode = DisjointMode::kNodeDisjoint});
+  ASSERT_TRUE(node.is_ok());
+  const PairDisjointResult* rn = find_pair(node.value(), 0, 1);
+  ASSERT_NE(rn, nullptr);
+  EXPECT_EQ(rn->found_k(), 1);
+  ASSERT_EQ(rn->paths[0].via.size(), 1u);
+  EXPECT_EQ(rn->paths[0].via[0], topo::HostId{2});
+}
+
+TEST(Disjoint, FirstPathIsShortestAlternate) {
+  // Suurballe's first iteration is a plain shortest alternate path, so the
+  // k=1 value must match the unrestricted alternate analysis exactly.
+  const auto ds = random_dataset(10, 0.45, 7);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto swept = compute_disjoint_alternates(table, {.k = 1});
+  ASSERT_TRUE(swept.is_ok());
+  const auto alternates = analyze_alternate_paths(table, AnalyzerOptions{});
+  std::size_t matched = 0;
+  for (const PairResult& alt : alternates) {
+    const PairDisjointResult* r =
+        find_pair(swept.value(), alt.a.value(), alt.b.value());
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(r->found_k(), 1);
+    EXPECT_DOUBLE_EQ(r->paths[0].value, alt.alternate_value);
+    ++matched;
+  }
+  EXPECT_GT(matched, 10u);
+}
+
+TEST(DisjointDifferential, MatchesBruteForceRtt) {
+  std::size_t checked = 0;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const auto ds = random_dataset(8, 0.4, seed);
+    const auto table = PathTable::build(ds, test::min_samples(1));
+    if (table.hosts().size() < 5 || table.edges().size() < 4) continue;
+    for (const int k : {1, 2, 3}) {
+      checked += check_against_brute_force(table, Metric::kRtt,
+                                           DisjointMode::kLinkDisjoint, k);
+    }
+  }
+  EXPECT_GT(checked, 20u);  // the differential must not be vacuous
+}
+
+TEST(DisjointDifferential, MatchesBruteForceLoss) {
+  std::size_t checked = 0;
+  for (const std::uint64_t seed : {21u, 22u}) {
+    const auto ds = random_dataset(8, 0.4, seed);
+    const auto table = PathTable::build(ds, test::min_samples(1));
+    if (table.hosts().size() < 5 || table.edges().size() < 4) continue;
+    for (const int k : {1, 2}) {
+      checked += check_against_brute_force(table, Metric::kLoss,
+                                           DisjointMode::kLinkDisjoint, k);
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(DisjointDifferential, MatchesBruteForceNodeMode) {
+  std::size_t checked = 0;
+  for (const std::uint64_t seed : {31u, 32u}) {
+    const auto ds = random_dataset(8, 0.4, seed);
+    const auto table = PathTable::build(ds, test::min_samples(1));
+    if (table.hosts().size() < 5 || table.edges().size() < 4) continue;
+    for (const int k : {1, 2}) {
+      checked += check_against_brute_force(table, Metric::kRtt,
+                                           DisjointMode::kNodeDisjoint, k);
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(DisjointDifferential, LossValueComposes) {
+  // Each edge loses 1 sample in 6 across two invocations; the composed
+  // alternate loss must be 1 - (1 - l)^2.
+  auto ds = make_dataset(3);
+  for (const auto& [a, b] : {std::pair{0, 1}, {0, 2}, {2, 1}}) {
+    add_invocation(ds, a, b, {10.0, 10.0, 10.0});
+    add_invocation(ds, a, b, {-1.0, 10.0, 10.0});
+  }
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  const auto swept = compute_disjoint_alternates(
+      table, {.metric = Metric::kLoss, .k = 1});
+  ASSERT_TRUE(swept.is_ok());
+  const PairDisjointResult* r = find_pair(swept.value(), 0, 1);
+  ASSERT_NE(r, nullptr);
+  const double l = 1.0 / 6.0;
+  EXPECT_DOUBLE_EQ(r->default_value, l);
+  ASSERT_EQ(r->found_k(), 1);
+  EXPECT_NEAR(r->paths[0].value, 1.0 - (1.0 - l) * (1.0 - l), 1e-12);
+}
+
+TEST(DisjointThreadInvariance, BitIdenticalAcrossThreadCounts) {
+  const auto ds = random_dataset(12, 0.4, 99);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  ASSERT_GT(table.edges().size(), 8u);
+  std::vector<std::vector<PairDisjointResult>> runs;
+  for (const int threads : {1, 4, 8}) {
+    DisjointOptions options;
+    options.k = 3;
+    options.threads = threads;
+    const auto swept = compute_disjoint_alternates(table, options);
+    ASSERT_TRUE(swept.is_ok());
+    runs.push_back(swept.value());
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      const PairDisjointResult& x = runs[0][i];
+      const PairDisjointResult& y = runs[run][i];
+      EXPECT_EQ(x.a, y.a);
+      EXPECT_EQ(x.b, y.b);
+      // Bitwise equality, not NEAR: determinism is the contract.
+      EXPECT_EQ(x.total_weight, y.total_weight);
+      ASSERT_EQ(x.paths.size(), y.paths.size());
+      for (std::size_t p = 0; p < x.paths.size(); ++p) {
+        EXPECT_EQ(x.paths[p].value, y.paths[p].value);
+        EXPECT_EQ(x.paths[p].via, y.paths[p].via);
+      }
+    }
+  }
+}
+
+TEST(DisjointCancel, TrippedTokenSurfacesStatus) {
+  const auto ds = random_dataset(10, 0.5, 5);
+  const auto table = PathTable::build(ds, test::min_samples(1));
+  CancelToken token;
+  token.cancel();
+  DisjointOptions options;
+  options.k = 2;
+  options.cancel = &token;
+  const auto swept = compute_disjoint_alternates(table, options);
+  ASSERT_FALSE(swept.is_ok());
+  EXPECT_EQ(swept.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(DisjointMetrics, CountersPopulated) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.enable();
+  const MetricsSnapshot before = m.snapshot();
+  const auto swept =
+      compute_disjoint_alternates(triangle_table(), {.k = 1});
+  ASSERT_TRUE(swept.is_ok());
+  const MetricsSnapshot after = m.snapshot();
+  const auto counter = [](const MetricsSnapshot& snap,
+                          std::string_view name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter(after, "core.disjoint.sweeps"),
+            counter(before, "core.disjoint.sweeps") + 1);
+  EXPECT_EQ(counter(after, "core.disjoint.pairs"),
+            counter(before, "core.disjoint.pairs") + 3);
+}
+
+}  // namespace
+}  // namespace pathsel::core

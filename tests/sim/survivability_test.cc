@@ -1,0 +1,282 @@
+// Fault-survivability replay: segment-exact availability accounting,
+// cross-checked against dense time sampling, plus the zero-intensity
+// identity, spec validation, thread invariance and cancellation.
+#include "sim/survivability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace pathsel::sim {
+namespace {
+
+topo::Topology small_topology(std::uint64_t seed = 1) {
+  topo::GeneratorConfig g;
+  g.seed = seed;
+  g.backbone_count = 3;
+  g.regional_count = 6;
+  g.stub_count = 12;
+  return topo::generate_topology(g);
+}
+
+Network make_network(std::uint64_t seed = 1) {
+  return Network{small_topology(seed), NetworkConfig{}};
+}
+
+// Direct, relayed, and "either of the two" specs over pairs the fault-free
+// routing can actually resolve (including the relay legs).
+std::vector<PairSpec> make_specs(const Network& net, std::size_t max_pairs) {
+  const auto& hosts = net.topology().hosts();
+  std::vector<PairSpec> specs;
+  for (std::size_t i = 0; i < hosts.size() && specs.size() < max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < hosts.size() && specs.size() < max_pairs;
+         ++j) {
+      const topo::HostId a = hosts[i].id;
+      const topo::HostId b = hosts[j].id;
+      if (!net.default_path(a, b).valid()) continue;
+      topo::HostId relay{};
+      for (const topo::Host& host : hosts) {
+        if (host.id == a || host.id == b) continue;
+        if (net.default_path(a, host.id).valid() &&
+            net.default_path(host.id, b).valid()) {
+          relay = host.id;
+          break;
+        }
+      }
+      if (!relay.valid()) continue;
+      PairSpec spec;
+      spec.paths.push_back({"direct", {a, b}});
+      spec.paths.push_back({"relay", {a, relay, b}});
+      spec.groups.push_back({"either", {0, 1}});
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+// Independent reference: sample the trace on a fine grid with a fresh
+// injector and score each path/group by the fraction of up samples.  Exact
+// replay must agree within one grid step per state boundary.
+struct SampledPair {
+  std::vector<double> paths;
+  std::vector<double> groups;
+};
+
+std::vector<SampledPair> sample_availability(const Network& net,
+                                             const FaultPlan& plan,
+                                             const std::vector<PairSpec>& pairs,
+                                             Duration step) {
+  const std::int64_t samples = static_cast<std::int64_t>(
+      plan.trace_duration().total_seconds() / step.total_seconds());
+  std::vector<SampledPair> out(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    out[p].paths.assign(pairs[p].paths.size(), 0.0);
+    out[p].groups.assign(pairs[p].groups.size(), 0.0);
+  }
+  FaultInjector injector{net, plan};
+  std::vector<char> path_up;
+  for (std::int64_t s = 0; s < samples; ++s) {
+    const SimTime t = SimTime::start() + step * static_cast<double>(s);
+    injector.advance_to(t);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const PairSpec& spec = pairs[p];
+      path_up.assign(spec.paths.size(), 1);
+      for (std::size_t i = 0; i < spec.paths.size(); ++i) {
+        const std::vector<topo::HostId>& hops = spec.paths[i].hops;
+        for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
+          if (plan.host_crashed(hops[h], t) ||
+              plan.host_crashed(hops[h + 1], t)) {
+            path_up[i] = 0;
+            break;
+          }
+          const route::RouterPath& routed =
+              injector.effective_path(hops[h], hops[h + 1]);
+          if (!routed.valid() || injector.blackholed(routed, t)) {
+            path_up[i] = 0;
+            break;
+          }
+        }
+        if (path_up[i] != 0) out[p].paths[i] += 1.0;
+      }
+      for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+        const bool up = std::any_of(
+            spec.groups[g].members.begin(), spec.groups[g].members.end(),
+            [&path_up](std::size_t m) { return path_up[m] != 0; });
+        if (up) out[p].groups[g] += 1.0;
+      }
+    }
+  }
+  for (SampledPair& sp : out) {
+    for (double& v : sp.paths) v /= static_cast<double>(samples);
+    for (double& v : sp.groups) v /= static_cast<double>(samples);
+  }
+  return out;
+}
+
+TEST(Survivability, ZeroIntensityIsFullyAvailable) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 6);
+  ASSERT_FALSE(specs.empty());
+  const FaultPlan plan{FaultConfig::at_intensity(0.0), net.topology(),
+                       Duration::days(1)};
+  const auto replayed = replay_survivability(net, plan, specs, {});
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  ASSERT_EQ(replayed.value().size(), specs.size());
+  for (const PairSurvivability& pair : replayed.value()) {
+    for (const PathAvailability& path : pair.paths) {
+      EXPECT_DOUBLE_EQ(path.availability, 1.0) << path.label;
+      EXPECT_EQ(path.outages, 0);
+      EXPECT_DOUBLE_EQ(path.downtime.total_seconds(), 0.0);
+    }
+    for (const PathAvailability& group : pair.groups) {
+      EXPECT_DOUBLE_EQ(group.availability, 1.0) << group.label;
+      EXPECT_EQ(group.outages, 0);
+    }
+  }
+}
+
+TEST(Survivability, WindowlessPlanIsRejected) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 1);
+  ASSERT_FALSE(specs.empty());
+  const FaultPlan windowless;  // no trace duration to replay over
+  const auto replayed = replay_survivability(net, windowless, specs, {});
+  ASSERT_FALSE(replayed.is_ok());
+  EXPECT_EQ(replayed.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Survivability, MalformedSpecsAreRejected) {
+  const Network net = make_network();
+  const FaultPlan plan{FaultConfig::at_intensity(0.0), net.topology(),
+                       Duration::days(1)};
+  const topo::HostId a = net.topology().hosts()[0].id;
+  const topo::HostId b = net.topology().hosts()[1].id;
+
+  PairSpec one_hop;
+  one_hop.paths.push_back({"stub", {a}});
+  const auto short_path = replay_survivability(net, plan, {one_hop}, {});
+  ASSERT_FALSE(short_path.is_ok());
+  EXPECT_EQ(short_path.status().code(), ErrorCode::kInvalidArgument);
+
+  PairSpec bad_member;
+  bad_member.paths.push_back({"direct", {a, b}});
+  bad_member.groups.push_back({"oops", {0, 7}});
+  const auto out_of_range = replay_survivability(net, plan, {bad_member}, {});
+  ASSERT_FALSE(out_of_range.is_ok());
+  EXPECT_EQ(out_of_range.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Survivability, FaultsProduceBoundedAvailability) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 8);
+  ASSERT_FALSE(specs.empty());
+  const Duration trace = Duration::days(2);
+  const FaultPlan plan{FaultConfig::at_intensity(1.0), net.topology(), trace};
+  const auto replayed = replay_survivability(net, plan, specs, {});
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  double min_availability = 1.0;
+  for (const PairSurvivability& pair : replayed.value()) {
+    double best_member = 0.0;
+    for (const PathAvailability& path : pair.paths) {
+      EXPECT_GE(path.availability, 0.0);
+      EXPECT_LE(path.availability, 1.0);
+      EXPECT_LE(path.downtime.total_seconds(), trace.total_seconds());
+      EXPECT_NEAR(path.availability,
+                  1.0 - path.downtime.total_seconds() / trace.total_seconds(),
+                  1e-9);
+      if (path.availability < 1.0) {
+        EXPECT_GT(path.outages, 0);
+      }
+      best_member = std::max(best_member, path.availability);
+      min_availability = std::min(min_availability, path.availability);
+    }
+    // A group is up whenever any member is: never worse than its best member.
+    for (const PathAvailability& group : pair.groups) {
+      EXPECT_GE(group.availability, best_member - 1e-12);
+    }
+  }
+  // Full intensity crashes every host at some point; something must go down.
+  EXPECT_LT(min_availability, 1.0);
+}
+
+TEST(Survivability, MatchesDenseTimeSampling) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 5);
+  ASSERT_FALSE(specs.empty());
+  const Duration trace = Duration::days(1);
+  const FaultPlan plan{FaultConfig::at_intensity(0.5), net.topology(), trace};
+  const auto replayed = replay_survivability(net, plan, specs, {});
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+
+  // 30 s grid: sampling error is at most one grid step per state boundary,
+  // and fault windows have multi-minute floors, so 2% headroom is ample.
+  const std::vector<SampledPair> sampled =
+      sample_availability(net, plan, specs, Duration::seconds(30));
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    const PairSurvivability& exact = replayed.value()[p];
+    for (std::size_t i = 0; i < exact.paths.size(); ++i) {
+      EXPECT_NEAR(exact.paths[i].availability, sampled[p].paths[i], 0.02)
+          << "pair " << p << " path " << exact.paths[i].label;
+    }
+    for (std::size_t g = 0; g < exact.groups.size(); ++g) {
+      EXPECT_NEAR(exact.groups[g].availability, sampled[p].groups[g], 0.02)
+          << "pair " << p << " group " << exact.groups[g].label;
+    }
+  }
+}
+
+TEST(SurvivabilityThreadInvariance, BitIdenticalAcrossThreadCounts) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 12);
+  ASSERT_GT(specs.size(), 8u);
+  const FaultPlan plan{FaultConfig::at_intensity(0.5), net.topology(),
+                       Duration::days(1)};
+  std::vector<std::vector<PairSurvivability>> runs;
+  for (const int threads : {1, 4, 8}) {
+    SurvivabilityOptions options;
+    options.threads = threads;
+    const auto replayed = replay_survivability(net, plan, specs, options);
+    ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+    runs.push_back(replayed.value());
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t p = 0; p < runs[0].size(); ++p) {
+      const PairSurvivability& x = runs[0][p];
+      const PairSurvivability& y = runs[run][p];
+      ASSERT_EQ(x.paths.size(), y.paths.size());
+      for (std::size_t i = 0; i < x.paths.size(); ++i) {
+        // Bitwise equality: determinism is the contract, not tolerance.
+        EXPECT_EQ(x.paths[i].availability, y.paths[i].availability);
+        EXPECT_EQ(x.paths[i].outages, y.paths[i].outages);
+      }
+      ASSERT_EQ(x.groups.size(), y.groups.size());
+      for (std::size_t g = 0; g < x.groups.size(); ++g) {
+        EXPECT_EQ(x.groups[g].availability, y.groups[g].availability);
+        EXPECT_EQ(x.groups[g].outages, y.groups[g].outages);
+      }
+    }
+  }
+}
+
+TEST(SurvivabilityCancel, TrippedTokenSurfacesStatus) {
+  const Network net = make_network();
+  const std::vector<PairSpec> specs = make_specs(net, 6);
+  ASSERT_FALSE(specs.empty());
+  const FaultPlan plan{FaultConfig::at_intensity(0.5), net.topology(),
+                       Duration::days(1)};
+  CancelToken token;
+  token.cancel();
+  SurvivabilityOptions options;
+  options.cancel = &token;
+  const auto replayed = replay_survivability(net, plan, specs, options);
+  ASSERT_FALSE(replayed.is_ok());
+  EXPECT_EQ(replayed.status().code(), ErrorCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace pathsel::sim

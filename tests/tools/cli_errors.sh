@@ -140,6 +140,52 @@ if ! cmp -s "$TMP/simd_scalar.out" "$TMP/simd_avx2.out"; then
   failures=$((failures + 1))
 fi
 
+# --disjoint contract: k is validated as a usage error before any I/O, the
+# mode is an analyzer of its own (exclusive with the one-hop/kernel/simd
+# sweep and the bandwidth metric), and a k the measured graph cannot honour
+# (k > N-2) is a data error (exit 1), not a usage error — the flags were
+# fine, the data was too small.  Output must be byte-identical across
+# thread counts.
+expect 2 "non-numeric disjoint k" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint banana
+expect 2 "zero disjoint k" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 0
+expect 2 "negative disjoint k" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint -2
+expect 2 "disjoint-mode without --disjoint" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint-mode node
+expect 2 "bad disjoint mode" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --disjoint-mode mesh
+expect 2 "disjoint with --one-hop" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --one-hop
+expect 2 "disjoint with --kernel" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --kernel dense
+expect 2 "disjoint with --simd" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --simd scalar
+expect 2 "disjoint with bandwidth metric" -- \
+  analyze --in "$TMP/uw3.ds" --metric bandwidth --disjoint 2
+expect 1 "disjoint k beyond the graph ceiling" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 999
+expect 0 "disjoint link mode" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2
+expect 0 "disjoint node mode" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --disjoint-mode node
+expect 0 "disjoint csv" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --csv
+expect 2 "campaign non-numeric disjoint k" -- \
+  campaign --out-dir "$TMP/camp" --disjoint banana
+
+for threads in 1 4 8; do
+  "$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 \
+    --threads "$threads" > "$TMP/disjoint.t$threads" 2>/dev/null
+done
+for threads in 4 8; do
+  if ! cmp -s "$TMP/disjoint.t1" "$TMP/disjoint.t$threads"; then
+    echo "FAIL: --disjoint stdout differs between 1 and $threads threads" >&2
+    failures=$((failures + 1))
+  fi
+done
+
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a
 # metrics-off run (observability must never change analysis output).

@@ -176,6 +176,28 @@ else
   fi
 fi
 
+# --- Case 6: disjoint-mode campaign. A crash/resume must reproduce both ---
+# --- the dataset and the derived disjoint report byte-for-byte; resuming ---
+# --- under a different k must reject the checkpoint as stale (the k is  ---
+# --- folded into the checkpoint fingerprint), restart from scratch, and ---
+# --- still converge to the reference bytes.                             ---
+"$CLI" campaign --out-dir "$TMP/refdj" --datasets UW3 --scale 0.05 \
+  --disjoint 2 > /dev/null 2>&1 || fail "disjoint reference run failed"
+[[ -f "$TMP/refdj/UW3.disjoint.tsv" ]] \
+  || fail "disjoint reference campaign wrote no UW3.disjoint.tsv"
+
+crash_campaign dj --disjoint 2
+resume_and_compare dj "$TMP/refdj/UW3.ds" yes --disjoint 2
+cmp -s "$TMP/refdj/UW3.disjoint.tsv" "$TMP/dj.out/UW3.disjoint.tsv" \
+  || fail "dj: resumed disjoint report differs from the uninterrupted run"
+
+crash_campaign djk --disjoint 2
+resume_and_compare djk "$TMP/ref0/UW3.ds" no --disjoint 3
+grep -q "discarded checkpoint" "$TMP/djk.resume.err" \
+  || fail "djk: no diagnostic for the stale (different-k) checkpoint"
+grep -q "k=3" "$TMP/djk.out/UW3.disjoint.tsv" 2> /dev/null \
+  || fail "djk: restarted campaign did not write a k=3 disjoint report"
+
 if [[ "$failures" -ne 0 ]]; then
   echo "$failures kill/resume case(s) failed" >&2
   exit 1

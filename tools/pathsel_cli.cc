@@ -12,6 +12,7 @@
 //                       [--threads N] [--deadline SEC]
 //                       [--kernel auto|dense|search]
 //                       [--simd auto|avx2|scalar]
+//                       [--disjoint K] [--disjoint-mode link|node]
 //       Run the alternate-path analysis on a saved dataset.  --threads
 //       defaults to the hardware thread count (or $PATHSEL_THREADS); the
 //       results are bit-identical for every value.  --coverage appends a
@@ -22,16 +23,28 @@
 //       byte-identical either way.  --simd picks the dense kernel's
 //       instruction path (default auto: $PATHSEL_SIMD, then the widest the
 //       CPU supports; avx2 falls back to scalar when unsupported); every
-//       path is bit-identical, only throughput differs.
+//       path is bit-identical, only throughput differs.  --disjoint K
+//       switches to the k-disjoint-alternates analyzer: Suurballe/Bhandari
+//       computes up to K mutually link-disjoint (--disjoint-mode node:
+//       node-disjoint) alternate paths per measured pair over the same
+//       weight space, reporting "requested k / found k" accounting; it is
+//       mutually exclusive with --one-hop/--kernel/--simd.  K is checked
+//       against the graph's N-2 ceiling after the dataset loads (a data
+//       error, exit 1); malformed K is a usage error (exit 2).
 //   pathsel_cli campaign --out-dir DIR [--datasets A,B,...] [--scale S]
 //                        [--seed N] [--faults F] [--fault-seed N]
 //                        [--checkpoint-dir DIR] [--resume]
 //                        [--checkpoint-every-hours H] [--deadline SEC]
+//                        [--disjoint K]
 //       Regenerate a set of datasets (all of Table 1 by default) into DIR
 //       with crash safety: with --checkpoint-dir each in-flight dataset is
 //       periodically checkpointed (atomically, CRC-checked), and --resume
 //       continues an interrupted campaign from the newest valid checkpoint,
 //       producing byte-identical outputs to an uninterrupted run.
+//       --disjoint K additionally writes a <name>.disjoint.tsv report per
+//       dataset (atomic, deterministic) and folds K into the checkpoint
+//       fingerprint, so resuming under a different K discards the stale
+//       checkpoint instead of splicing runs.
 //
 // Long-running commands (campaign, analyze) honour --deadline SEC and
 // SIGINT/SIGTERM: the run drains cooperatively at the next chunk/event
@@ -51,6 +64,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +78,7 @@
 
 #include "core/alternate.h"
 #include "core/bandwidth.h"
+#include "core/disjoint.h"
 #include "core/confidence.h"
 #include "core/coverage.h"
 #include "core/figures.h"
@@ -71,6 +86,7 @@
 #include "meas/campaign.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
+#include "util/atomic_io.h"
 #include "util/bench_report.h"
 #include "util/cancel.h"
 #include "util/metrics.h"
@@ -120,11 +136,12 @@ int usage() {
                "                      [--coverage] [--threads N] [--deadline SEC]\n"
                "                      [--kernel auto|dense|search]\n"
                "                      [--simd auto|avx2|scalar]\n"
+               "                      [--disjoint K] [--disjoint-mode link|node]\n"
                "  pathsel_cli campaign --out-dir DIR [--datasets A,B,...]\n"
                "                       [--scale S] [--seed N] [--faults F]\n"
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
                "                       [--resume] [--checkpoint-every-hours H]\n"
-               "                       [--deadline SEC]\n"
+               "                       [--deadline SEC] [--disjoint K]\n"
                "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
                "--threads defaults to the hardware thread count\n"
                "--metrics[=table|json] dumps run metrics to stderr on exit\n"
@@ -255,6 +272,79 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+// Writes the campaign-level disjoint report for one finished dataset:
+// deterministic TSV (stable column set, %.6g values, table.edges() order),
+// written atomically next to the dataset output.  The min-samples floor
+// scales with the campaign's --scale (same convention as the bench suite's
+// scaled_min_samples) so a reduced-scale campaign still yields a populated
+// graph instead of filtering every edge.  Nonzero return is the process
+// exit code.
+int write_disjoint_report(const std::string& out_dir, const std::string& name,
+                          int k, double scale) {
+  const std::string ds_path = out_dir + "/" + name + ".ds";
+  std::ifstream is{ds_path};
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", ds_path.c_str());
+    return kExitUnreadable;
+  }
+  std::string error;
+  auto parsed = meas::read_dataset(is, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "parse error in %s: %s\n", ds_path.c_str(),
+                 error.c_str());
+    return kExitParseError;
+  }
+  core::BuildOptions build;
+  build.min_samples =
+      std::max(3, static_cast<int>(std::llround(30.0 * scale)));
+  build.cancel = &g_cancel;
+  const auto built = core::PathTable::build_checked(*parsed, build);
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 built.status().to_string().c_str());
+    return exit_code_for(built.status());
+  }
+  const core::PathTable& table = built.value();
+  const Status valid = core::validate_disjoint_k(k, table.hosts().size());
+  if (!valid.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), valid.to_string().c_str());
+    return exit_code_for(valid);
+  }
+  core::DisjointOptions opt;
+  opt.k = k;
+  opt.cancel = &g_cancel;
+  const auto swept = core::compute_disjoint_alternates(table, opt);
+  if (!swept.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 swept.status().to_string().c_str());
+    return exit_code_for(swept.status());
+  }
+  std::string tsv;
+  tsv += "# disjoint alternates: dataset=" + name + " mode=" +
+         core::to_string(opt.mode) + " k=" + std::to_string(k) +
+         " metric=rtt min_samples=" + std::to_string(build.min_samples) +
+         "\n";
+  tsv += "a\tb\trequested_k\tfound_k\tdefault_value\tbest_value\t"
+         "total_weight\n";
+  char row[160];
+  for (const core::PairDisjointResult& r : swept.value()) {
+    std::snprintf(row, sizeof(row), "%d\t%d\t%d\t%d\t%.6g\t%.6g\t%.6g\n",
+                  r.a.value(), r.b.value(), r.requested_k, r.found_k(),
+                  r.default_value,
+                  r.paths.empty() ? -1.0 : r.paths.front().value,
+                  r.total_weight);
+    tsv += row;
+  }
+  const std::string tsv_path = out_dir + "/" + name + ".disjoint.tsv";
+  const Status wrote = write_file_atomic(tsv_path, tsv);
+  if (!wrote.is_ok()) {
+    std::fprintf(stderr, "%s\n", wrote.to_string().c_str());
+    return exit_code_for(wrote);
+  }
+  std::printf("wrote %s\n", tsv_path.c_str());
+  return kExitOk;
+}
+
 int cmd_campaign(const FlagMap& flags) {
   const auto out_dir = flags.find("out-dir");
   if (out_dir == flags.end()) {
@@ -302,6 +392,11 @@ int cmd_campaign(const FlagMap& flags) {
   if (flags.contains("checkpoint-every-hours")) {
     options.checkpoint_interval = Duration::hours(every_hours);
   }
+  std::int64_t disjoint_k = 0;
+  if (!flag_i64(flags, "disjoint", 1, 1'000'000, disjoint_k)) {
+    return kExitUsage;
+  }
+  options.disjoint_k = static_cast<int>(disjoint_k);
   if (!arm_deadline(flags)) return kExitUsage;
   options.cancel = &g_cancel;
 
@@ -341,6 +436,19 @@ int cmd_campaign(const FlagMap& flags) {
                                                   : "; checkpoint written");
     }
     return exit_code_for(report.status);
+  }
+  if (options.disjoint_k > 0) {
+    // Reports cover every dataset the run left finished on disk, whether it
+    // was produced now or kept from a previous run — a resumed campaign
+    // ends with the same set of .disjoint.tsv files as an uninterrupted one.
+    for (const auto* names : {&report.completed, &report.loaded}) {
+      for (const std::string& name : *names) {
+        const int rc = write_disjoint_report(options.output_dir, name,
+                                             options.disjoint_k,
+                                             options.catalog.scale);
+        if (rc != kExitOk) return rc;
+      }
+    }
   }
   return kExitOk;
 }
@@ -519,6 +627,43 @@ int cmd_analyze(const FlagMap& flags) {
     }
   }
 
+  // The disjoint analyzer replaces the alternate sweep; a malformed or
+  // non-positive K is a usage error here, while a K exceeding the graph's
+  // N-2 ceiling is a data error detected after the dataset loads.
+  std::int64_t disjoint_k = 0;
+  core::DisjointMode disjoint_mode = core::DisjointMode::kLinkDisjoint;
+  if (flags.contains("disjoint")) {
+    if (!flag_i64(flags, "disjoint", 1, 1'000'000, disjoint_k)) {
+      return kExitUsage;
+    }
+    if (metric == "bandwidth") {
+      std::fprintf(stderr, "--disjoint does not apply to bandwidth analysis\n");
+      return kExitUsage;
+    }
+    for (const char* other : {"one-hop", "kernel", "simd"}) {
+      if (flags.contains(other)) {
+        std::fprintf(stderr, "--disjoint cannot be combined with --%s\n",
+                     other);
+        return kExitUsage;
+      }
+    }
+  }
+  if (const auto it = flags.find("disjoint-mode"); it != flags.end()) {
+    if (disjoint_k == 0) {
+      std::fprintf(stderr, "--disjoint-mode requires --disjoint K\n");
+      return kExitUsage;
+    }
+    if (it->second == "link") {
+      disjoint_mode = core::DisjointMode::kLinkDisjoint;
+    } else if (it->second == "node") {
+      disjoint_mode = core::DisjointMode::kNodeDisjoint;
+    } else {
+      std::fprintf(stderr, "invalid value for --disjoint-mode: %s\n",
+                   it->second.c_str());
+      return kExitUsage;
+    }
+  }
+
   // 0 resolves to default_thread_count() (PATHSEL_THREADS env override, else
   // hardware_concurrency); --threads 1 forces the serial path.
   std::int64_t threads = 0;
@@ -565,6 +710,79 @@ int cmd_analyze(const FlagMap& flags) {
     }
     if (flags.contains("coverage")) {
       print_coverage(core::summarize_coverage(ds, table));
+    }
+    return kExitOk;
+  }
+
+  if (disjoint_k > 0) {
+    const auto built = core::PathTable::build_checked(ds, build);
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "%s\n", built.status().to_string().c_str());
+      return exit_code_for(built.status());
+    }
+    const core::PathTable& table = built.value();
+    std::printf("path graph: %zu measured paths over %zu hosts\n",
+                table.edges().size(), table.hosts().size());
+    const Status valid =
+        core::validate_disjoint_k(static_cast<int>(disjoint_k),
+                                  table.hosts().size());
+    if (!valid.is_ok()) {
+      std::fprintf(stderr, "%s\n", valid.to_string().c_str());
+      return exit_code_for(valid);
+    }
+    core::DisjointOptions opt;
+    opt.metric =
+        metric == "rtt" ? core::Metric::kRtt : core::Metric::kLoss;
+    opt.k = static_cast<int>(disjoint_k);
+    opt.mode = disjoint_mode;
+    opt.threads = static_cast<int>(threads);
+    opt.cancel = &g_cancel;
+    const auto swept = core::compute_disjoint_alternates(table, opt);
+    if (!swept.is_ok()) {
+      std::fprintf(stderr, "%s\n", swept.status().to_string().c_str());
+      return exit_code_for(swept.status());
+    }
+    const std::vector<core::PairDisjointResult>& results = swept.value();
+    std::printf("disjoint analysis: mode=%s, requested k=%d\n",
+                core::to_string(opt.mode), opt.k);
+    std::printf("pairs analyzed: %zu\n", results.size());
+    std::vector<std::size_t> found_hist(
+        static_cast<std::size_t>(opt.k) + 1, 0);
+    std::size_t beats_direct = 0;
+    for (const core::PairDisjointResult& r : results) {
+      ++found_hist[static_cast<std::size_t>(r.found_k())];
+      if (!r.paths.empty() && r.paths.front().value < r.default_value) {
+        ++beats_direct;
+      }
+    }
+    Table table_out{"requested k / found k"};
+    table_out.set_header({"found", "pairs", "fraction"});
+    for (std::size_t j = 0; j < found_hist.size(); ++j) {
+      table_out.add_row(
+          {std::to_string(j) + " / " + std::to_string(opt.k),
+           std::to_string(found_hist[j]),
+           Table::fmt(results.empty()
+                          ? 0.0
+                          : 100.0 * static_cast<double>(found_hist[j]) /
+                                static_cast<double>(results.size()),
+                      1) +
+               "%"});
+    }
+    table_out.print(std::cout);
+    std::printf("best disjoint alternate beats direct: %.0f%%\n",
+                results.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(beats_direct) /
+                          static_cast<double>(results.size()));
+    if (flags.contains("csv")) {
+      std::printf(
+          "a,b,requested_k,found_k,default_value,best_value,total_weight\n");
+      for (const core::PairDisjointResult& r : results) {
+        std::printf("%d,%d,%d,%d,%.6g,%.6g,%.6g\n", r.a.value(), r.b.value(),
+                    r.requested_k, r.found_k(), r.default_value,
+                    r.paths.empty() ? -1.0 : r.paths.front().value,
+                    r.total_weight);
+      }
     }
     return kExitOk;
   }
@@ -694,7 +912,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     if (!parse_flags(argc, argv, 2,
                      {"in", "metric", "min-samples", "threads", "deadline",
-                      "kernel", "simd"},
+                      "kernel", "simd", "disjoint", "disjoint-mode"},
                      {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
@@ -704,7 +922,7 @@ int main(int argc, char** argv) {
     if (!parse_flags(argc, argv, 2,
                      {"out-dir", "datasets", "scale", "seed", "faults",
                       "fault-seed", "checkpoint-dir", "checkpoint-every-hours",
-                      "deadline"},
+                      "deadline", "disjoint"},
                      {"resume"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
