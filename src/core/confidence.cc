@@ -14,9 +14,15 @@ namespace {
 // bit-identical for every thread count (the tallies are integer sums).
 constexpr std::size_t kChunk = 256;
 
+stats::TTestResult pair_ttest(const ResultColumns& results, std::size_t i,
+                              double confidence) {
+  return stats::welch_ttest(results.default_estimate(i),
+                            results.alternate_estimate(i), confidence);
+}
+
 }  // namespace
 
-SignificanceTally classify_significance(std::span<const PairResult> results,
+SignificanceTally classify_significance(const ResultColumns& results,
                                         double confidence, int threads) {
   Result<SignificanceTally> tally =
       classify_significance_checked(results, confidence, threads);
@@ -24,8 +30,14 @@ SignificanceTally classify_significance(std::span<const PairResult> results,
   return tally.value();
 }
 
+SignificanceTally classify_significance(std::span<const PairResult> results,
+                                        double confidence, int threads) {
+  return classify_significance(from_pairs(results, Metric::kRtt), confidence,
+                               threads);
+}
+
 Result<SignificanceTally> classify_significance_checked(
-    std::span<const PairResult> results, double confidence, int threads,
+    const ResultColumns& results, double confidence, int threads,
     const CancelToken* cancel) {
   SignificanceTally tally;
   tally.pairs = results.size();
@@ -40,10 +52,7 @@ Result<SignificanceTally> classify_significance_checked(
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         std::array<std::size_t, 4> local{};
         for (std::size_t i = begin; i < end; ++i) {
-          const auto t = stats::welch_ttest(
-              results[i].default_estimate, results[i].alternate_estimate,
-              confidence);
-          switch (t.verdict) {
+          switch (pair_ttest(results, i, confidence).verdict) {
             case stats::Significance::kBetter: ++local[0]; break;
             case stats::Significance::kWorse: ++local[1]; break;
             case stats::Significance::kIndeterminate: ++local[2]; break;
@@ -66,7 +75,45 @@ Result<SignificanceTally> classify_significance_checked(
   return tally;
 }
 
-std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
+Result<SignificanceTally> classify_significance_checked(
+    std::span<const PairResult> results, double confidence, int threads,
+    const CancelToken* cancel) {
+  return classify_significance_checked(from_pairs(results, Metric::kRtt),
+                                       confidence, threads, cancel);
+}
+
+Status annotate_significance(ResultColumns& results, double confidence,
+                             int threads, const CancelToken* cancel) {
+  if (results.empty()) return Status::ok();
+  // Chunks write disjoint index ranges of the significance column, so the
+  // sweep is race-free and its output thread-count-invariant by layout.
+  ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
+  return pool.parallel_for(
+      results.size(), kChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          SignificanceClass cls = SignificanceClass::kIndeterminate;
+          switch (pair_ttest(results, i, confidence).verdict) {
+            case stats::Significance::kBetter:
+              cls = SignificanceClass::kBetter;
+              break;
+            case stats::Significance::kWorse:
+              cls = SignificanceClass::kWorse;
+              break;
+            case stats::Significance::kIndeterminate:
+              cls = SignificanceClass::kIndeterminate;
+              break;
+            case stats::Significance::kZero:
+              cls = SignificanceClass::kZero;
+              break;
+          }
+          results.significance[i] = static_cast<std::int8_t>(cls);
+        }
+      },
+      cancel);
+}
+
+std::vector<CiPoint> confidence_cdf(const ResultColumns& results,
                                     double confidence, int threads) {
   Result<std::vector<CiPoint>> points =
       confidence_cdf_checked(results, confidence, threads);
@@ -74,8 +121,14 @@ std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
   return std::move(points.value());
 }
 
+std::vector<CiPoint> confidence_cdf(std::span<const PairResult> results,
+                                    double confidence, int threads) {
+  return confidence_cdf(from_pairs(results, Metric::kRtt), confidence,
+                        threads);
+}
+
 Result<std::vector<CiPoint>> confidence_cdf_checked(
-    std::span<const PairResult> results, double confidence, int threads,
+    const ResultColumns& results, double confidence, int threads,
     const CancelToken* cancel) {
   ThreadPool& pool = ThreadPool::shared(resolve_thread_count(threads));
   Result<std::vector<CiPoint>> mapped = pool.map_chunks<CiPoint>(
@@ -84,9 +137,7 @@ Result<std::vector<CiPoint>> confidence_cdf_checked(
         std::vector<CiPoint> local;
         local.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
-          const auto t = stats::welch_ttest(
-              results[i].default_estimate, results[i].alternate_estimate,
-              confidence);
+          const auto t = pair_ttest(results, i, confidence);
           local.push_back(CiPoint{t.difference, 0.0, t.half_width});
         }
         return local;
@@ -103,6 +154,13 @@ Result<std::vector<CiPoint>> confidence_cdf_checked(
         static_cast<double>(i + 1) / static_cast<double>(points.size());
   }
   return points;
+}
+
+Result<std::vector<CiPoint>> confidence_cdf_checked(
+    std::span<const PairResult> results, double confidence, int threads,
+    const CancelToken* cancel) {
+  return confidence_cdf_checked(from_pairs(results, Metric::kRtt), confidence,
+                                threads, cancel);
 }
 
 }  // namespace pathsel::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/alternate.h"
+#include "core/result_columns.h"
 #include "stats/ttest.h"
 
 namespace pathsel::core {
@@ -26,7 +27,12 @@ struct SignificanceTally {
 };
 
 /// `threads` <= 0 means util::default_thread_count(); 1 forces the serial
-/// path.  Both sweeps are bit-identical for every thread count.
+/// path.  Both sweeps are bit-identical for every thread count.  The
+/// columnar overloads are the implementation; the PairResult spans delegate
+/// through from_pairs so one code path serves both (and the pre-refactor
+/// goldens pin the columnar port).
+[[nodiscard]] SignificanceTally classify_significance(
+    const ResultColumns& results, double confidence = 0.95, int threads = 0);
 [[nodiscard]] SignificanceTally classify_significance(
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0);
@@ -34,8 +40,20 @@ struct SignificanceTally {
 /// As classify_significance(), but polls `cancel` before every chunk and
 /// returns its status (kDeadlineExceeded or kCancelled) when tripped.
 [[nodiscard]] Result<SignificanceTally> classify_significance_checked(
+    const ResultColumns& results, double confidence = 0.95, int threads = 0,
+    const CancelToken* cancel = nullptr);
+[[nodiscard]] Result<SignificanceTally> classify_significance_checked(
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0, const CancelToken* cancel = nullptr);
+
+/// Fills the significance column with the per-pair welch_ttest verdicts the
+/// tallies above count (same confidence, same chunking — bit-identical for
+/// every thread count).  Serialized files then carry the classification, so
+/// a --results-in consumer can re-tally without the estimate sweeps.
+[[nodiscard]] Status annotate_significance(ResultColumns& results,
+                                           double confidence = 0.95,
+                                           int threads = 0,
+                                           const CancelToken* cancel = nullptr);
 
 /// One point of the Figure 7/8 plot: the pair's mean difference, its
 /// cumulative fraction, and the CI half-width to draw as an error bar.
@@ -47,10 +65,15 @@ struct CiPoint {
 
 /// Points sorted by difference (the CDF), each with its own half-width.
 [[nodiscard]] std::vector<CiPoint> confidence_cdf(
+    const ResultColumns& results, double confidence = 0.95, int threads = 0);
+[[nodiscard]] std::vector<CiPoint> confidence_cdf(
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0);
 
 /// As confidence_cdf(), but cancellable; partial CDFs are discarded.
+[[nodiscard]] Result<std::vector<CiPoint>> confidence_cdf_checked(
+    const ResultColumns& results, double confidence = 0.95, int threads = 0,
+    const CancelToken* cancel = nullptr);
 [[nodiscard]] Result<std::vector<CiPoint>> confidence_cdf_checked(
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0, const CancelToken* cancel = nullptr);

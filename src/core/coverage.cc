@@ -91,4 +91,16 @@ Result<DegradedAnalysis> analyze_with_coverage(const meas::Dataset& dataset,
   return out;
 }
 
+Result<DegradedColumnsAnalysis> analyze_columns_with_coverage(
+    const meas::Dataset& dataset, const BuildOptions& build,
+    const AnalyzerOptions& analyze) {
+  Result<DegradedAnalysis> swept =
+      analyze_with_coverage(dataset, build, analyze);
+  if (!swept.is_ok()) return swept.status();
+  DegradedColumnsAnalysis out;
+  out.columns = from_pairs(swept.value().results, analyze.metric);
+  out.coverage = swept.value().coverage;
+  return out;
+}
+
 }  // namespace pathsel::core

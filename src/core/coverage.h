@@ -16,6 +16,7 @@
 
 #include "core/alternate.h"
 #include "core/path_table.h"
+#include "core/result_columns.h"
 #include "meas/dataset.h"
 #include "util/status.h"
 
@@ -66,6 +67,18 @@ struct DegradedAnalysis {
 /// token set on either options struct propagates: cancellation surfaces as
 /// kDeadlineExceeded/kCancelled instead of aborting.
 [[nodiscard]] Result<DegradedAnalysis> analyze_with_coverage(
+    const meas::Dataset& dataset, const BuildOptions& build = {},
+    const AnalyzerOptions& analyze = {});
+
+struct DegradedColumnsAnalysis {
+  ResultColumns columns;
+  CoverageSummary coverage;
+};
+
+/// analyze_with_coverage with the sweep's PairResults transposed into the
+/// columnar results core (tagged with the analyzer's metric) — the shape the
+/// post-processing layer and the --results-out interchange consume.
+[[nodiscard]] Result<DegradedColumnsAnalysis> analyze_columns_with_coverage(
     const meas::Dataset& dataset, const BuildOptions& build = {},
     const AnalyzerOptions& analyze = {});
 

@@ -1,7 +1,9 @@
 #include "core/disjoint.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "util/expect.h"
@@ -355,6 +357,34 @@ Result<std::vector<PairDisjointResult>> compute_disjoint_alternates(
               static_cast<double>(wall_clock_ns() - sweep_start) / 1e6);
   }
   return results;
+}
+
+std::string render_disjoint_rows(std::span<const PairDisjointResult> results,
+                                 char sep) {
+  std::string out;
+  const std::array<const char*, 7> header{"a",
+                                          "b",
+                                          "requested_k",
+                                          "found_k",
+                                          "default_value",
+                                          "best_value",
+                                          "total_weight"};
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += header[i];
+  }
+  out.push_back('\n');
+  char row[160];
+  for (const PairDisjointResult& r : results) {
+    std::snprintf(row, sizeof(row),
+                  "%d%c%d%c%d%c%d%c%.6g%c%.6g%c%.6g\n", r.a.value(), sep,
+                  r.b.value(), sep, r.requested_k, sep, r.found_k(), sep,
+                  r.default_value, sep,
+                  r.paths.empty() ? -1.0 : r.paths.front().value, sep,
+                  r.total_weight);
+    out += row;
+  }
+  return out;
 }
 
 }  // namespace pathsel::core

@@ -27,6 +27,8 @@
 // sweep and the dense kernel).
 #pragma once
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/alternate.h"
@@ -102,5 +104,14 @@ struct PairDisjointResult {
 [[nodiscard]] Result<std::vector<PairDisjointResult>>
 compute_disjoint_alternates(const PathTable& table,
                             const DisjointOptions& options = {});
+
+/// Renders the canonical disjoint-report rows — header line plus one
+/// `a b requested_k found_k default_value best_value total_weight` row per
+/// pair (%.6g values, best_value -1 for disconnected pairs) — with the given
+/// separator ('\t' for the campaign TSV, ',' for --csv).  The single
+/// formatter behind both report paths, pinned by a golden so the row schema
+/// cannot drift between them.
+[[nodiscard]] std::string render_disjoint_rows(
+    std::span<const PairDisjointResult> results, char sep);
 
 }  // namespace pathsel::core

@@ -15,13 +15,22 @@
 
 #include "core/alternate.h"
 #include "core/bandwidth.h"
+#include "core/result_columns.h"
 #include "stats/cdf.h"
 
 namespace pathsel::core {
 
+// The columnar overloads are the implementation; the PairResult spans
+// delegate through from_pairs, so every caller exercises the same sweep and
+// the pre-refactor goldens pin the columnar port byte for byte.
+
+[[nodiscard]] stats::EmpiricalCdf improvement_cdf(const ResultColumns& results,
+                                                  int threads = 0);
 [[nodiscard]] stats::EmpiricalCdf improvement_cdf(
     std::span<const PairResult> results, int threads = 0);
 
+[[nodiscard]] stats::EmpiricalCdf ratio_cdf(const ResultColumns& results,
+                                            int threads = 0);
 [[nodiscard]] stats::EmpiricalCdf ratio_cdf(std::span<const PairResult> results,
                                             int threads = 0);
 
@@ -32,6 +41,8 @@ namespace pathsel::core {
     std::span<const BandwidthPairResult> results, int threads = 0);
 
 /// Fraction of pairs for which the best alternate is strictly better.
+[[nodiscard]] double fraction_improved(const ResultColumns& results,
+                                       int threads = 0);
 [[nodiscard]] double fraction_improved(std::span<const PairResult> results,
                                        int threads = 0);
 [[nodiscard]] double fraction_improved(

@@ -98,9 +98,9 @@ TEST(Confidence, CdfSortedWithFractions) {
 }
 
 TEST(Confidence, EmptyInputHandled) {
-  const auto tally = classify_significance({});
+  const auto tally = classify_significance(std::span<const PairResult>{});
   EXPECT_EQ(tally.pairs, 0u);
-  EXPECT_TRUE(confidence_cdf({}).empty());
+  EXPECT_TRUE(confidence_cdf(std::span<const PairResult>{}).empty());
 }
 
 }  // namespace

@@ -469,6 +469,58 @@ TEST(DisjointCancel, TrippedTokenSurfacesStatus) {
   EXPECT_EQ(swept.status().code(), ErrorCode::kCancelled);
 }
 
+TEST(DisjointRender, RowsMatchPinnedGolden) {
+  // render_disjoint_rows is the single formatter behind both the campaign
+  // TSV and `analyze --disjoint --csv`; this inline golden pins the row
+  // schema so neither caller can drift.  Covers a found pair, a
+  // fewer-than-requested pair, and a disconnected pair (best_value -1).
+  std::vector<PairDisjointResult> results;
+  {
+    PairDisjointResult r;
+    r.a = topo::HostId{0};
+    r.b = topo::HostId{1};
+    r.default_value = 100.0;
+    r.requested_k = 2;
+    r.paths.push_back({60.0, {topo::HostId{2}}});
+    r.paths.push_back({123.456789, {topo::HostId{3}, topo::HostId{4}}});
+    r.total_weight = 183.456789;
+    results.push_back(std::move(r));
+  }
+  {
+    PairDisjointResult r;
+    r.a = topo::HostId{0};
+    r.b = topo::HostId{2};
+    r.default_value = 0.0416666666666667;
+    r.requested_k = 2;
+    r.paths.push_back({0.25, {topo::HostId{1}}});
+    r.total_weight = 0.287682072451781;
+    results.push_back(std::move(r));
+  }
+  {
+    PairDisjointResult r;
+    r.a = topo::HostId{5};
+    r.b = topo::HostId{9};
+    r.default_value = 12.5;
+    r.requested_k = 2;
+    r.total_weight = 0.0;
+    results.push_back(std::move(r));
+  }
+
+  const std::string tsv = render_disjoint_rows(results, '\t');
+  EXPECT_EQ(tsv,
+            "a\tb\trequested_k\tfound_k\tdefault_value\tbest_value\t"
+            "total_weight\n"
+            "0\t1\t2\t2\t100\t60\t183.457\n"
+            "0\t2\t2\t1\t0.0416667\t0.25\t0.287682\n"
+            "5\t9\t2\t0\t12.5\t-1\t0\n");
+
+  // Same rows, comma separator: only the delimiter may differ.
+  const std::string csv = render_disjoint_rows(results, ',');
+  std::string swapped = tsv;
+  std::replace(swapped.begin(), swapped.end(), '\t', ',');
+  EXPECT_EQ(csv, swapped);
+}
+
 TEST(DisjointMetrics, CountersPopulated) {
   MetricsRegistry& m = MetricsRegistry::global();
   m.enable();

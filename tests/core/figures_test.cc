@@ -65,7 +65,7 @@ TEST(Figures, FractionImprovedBandwidth) {
 
 TEST(Figures, EmptyInputs) {
   EXPECT_DOUBLE_EQ(fraction_improved(std::span<const PairResult>{}), 0.0);
-  EXPECT_TRUE(improvement_cdf({}).empty());
+  EXPECT_TRUE(improvement_cdf(std::span<const PairResult>{}).empty());
 }
 
 TEST(Figures, LossRatioGuardsZeroDenominator) {

@@ -1,0 +1,244 @@
+// Property tests for the stats layer on adversarial inputs.
+//
+// The invariant suite (stats_invariants_test.cc) checks the textbook
+// identities on well-behaved samples; this file attacks the edges it skips:
+// duplicate-heavy samples (ties are where order-statistic interpolation and
+// KS step functions go wrong), two-sample size-1 cases, zero-variance
+// t-tests, and the blanket NaN-free guarantee — no finite input may ever
+// produce a NaN, because a single NaN silently poisons every downstream
+// CDF, table and golden file.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/ks.h"
+#include "stats/quantile.h"
+#include "stats/summary.h"
+#include "stats/ttest.h"
+#include "util/rng.h"
+
+namespace pathsel::stats {
+namespace {
+
+// Duplicate-heavy sample: values drawn from a handful of levels, so almost
+// every order statistic ties with its neighbours.
+std::vector<double> duplicate_heavy(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(rng.uniform_int(0, 4)) * 2.5);
+  }
+  return out;
+}
+
+// --- quantile ------------------------------------------------------------
+
+TEST(StatsProperty, QuantileIsNanFreeBoundedAndMonotoneOnTies) {
+  std::uint64_t seed = 501;
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 97u, 500u}) {
+    SCOPED_TRACE(testing::Message() << "sample size " << n);
+    auto sample = duplicate_heavy(n, seed++);
+    const double lo = *std::min_element(sample.begin(), sample.end());
+    const double hi = *std::max_element(sample.begin(), sample.end());
+    double prev = lo;
+    for (int i = 0; i <= 100; ++i) {
+      const double q = static_cast<double>(i) / 100.0;
+      const double v = quantile(sample, q);
+      ASSERT_FALSE(std::isnan(v)) << "q=" << q;
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+      EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+      prev = v;
+    }
+    EXPECT_EQ(quantile(sample, 0.0), lo);
+    EXPECT_EQ(quantile(sample, 1.0), hi);
+  }
+}
+
+TEST(StatsProperty, QuantileOfConstantSampleIsThatConstant) {
+  const std::vector<double> sample(37, 4.25);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(quantile(sample, q), 4.25) << "q=" << q;
+  }
+  EXPECT_EQ(median(sample), 4.25);
+}
+
+TEST(StatsProperty, QuantileSingleElement) {
+  const std::vector<double> sample{-3.5};
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(quantile(sample, q), -3.5);
+  }
+}
+
+TEST(StatsProperty, QuantileSortedAgreesWithQuantile) {
+  auto sample = duplicate_heavy(64, 7311);
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.37, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(quantile(sample, q), quantile_sorted(sorted, q)) << "q=" << q;
+  }
+}
+
+// --- two-sample KS -------------------------------------------------------
+
+TEST(StatsProperty, KsIdenticalSamplesHaveZeroDistance) {
+  const auto sample = duplicate_heavy(50, 801);
+  const KsResult r = ks_two_sample(sample, sample);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_FALSE(std::isnan(r.p_value));
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(StatsProperty, KsSizeOneEdges) {
+  // The smallest legal inputs: one observation per side.
+  const std::vector<double> a{1.0};
+  for (const double bv : {1.0, 2.0, -7.0}) {
+    const std::vector<double> b{bv};
+    const KsResult r = ks_two_sample(a, b);
+    ASSERT_FALSE(std::isnan(r.statistic));
+    ASSERT_FALSE(std::isnan(r.p_value));
+    EXPECT_GE(r.statistic, 0.0);
+    EXPECT_LE(r.statistic, 1.0);
+    if (bv == 1.0) {
+      EXPECT_EQ(r.statistic, 0.0);  // identical single points
+    } else {
+      EXPECT_EQ(r.statistic, 1.0);  // fully separated single points
+    }
+  }
+  // Size 1 vs size n.
+  const auto big = duplicate_heavy(100, 802);
+  const KsResult r = ks_two_sample(a, big);
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  EXPECT_FALSE(std::isnan(r.p_value));
+}
+
+TEST(StatsProperty, KsIsSymmetricBoundedAndNanFree) {
+  std::uint64_t seed = 901;
+  for (int round = 0; round < 20; ++round) {
+    Rng rng{seed++};
+    const auto a = duplicate_heavy(
+        static_cast<std::size_t>(rng.uniform_int(1, 60)), seed++);
+    const auto b = duplicate_heavy(
+        static_cast<std::size_t>(rng.uniform_int(1, 60)), seed++);
+    const KsResult ab = ks_two_sample(a, b);
+    const KsResult ba = ks_two_sample(b, a);
+    ASSERT_FALSE(std::isnan(ab.statistic));
+    ASSERT_FALSE(std::isnan(ab.p_value));
+    EXPECT_EQ(ab.statistic, ba.statistic);
+    EXPECT_EQ(ab.p_value, ba.p_value);
+    EXPECT_GE(ab.statistic, 0.0);
+    EXPECT_LE(ab.statistic, 1.0);
+    EXPECT_GE(ab.p_value, 0.0);
+    EXPECT_LE(ab.p_value, 1.0);
+  }
+}
+
+TEST(StatsProperty, KsDisjointSupportsSeparateCompletely) {
+  const std::vector<double> low(20, 1.0);
+  const std::vector<double> high(30, 100.0);
+  EXPECT_EQ(ks_two_sample(low, high).statistic, 1.0);
+}
+
+// --- Welch t-test --------------------------------------------------------
+
+TEST(StatsProperty, TTestVerdictIsConsistentWithItsInterval) {
+  std::uint64_t seed = 1001;
+  for (int round = 0; round < 200; ++round) {
+    Rng rng{seed++};
+    MeanEstimate d{rng.uniform(-50.0, 50.0), rng.uniform(0.0, 10.0),
+                   rng.uniform(0.0, 0.5)};
+    MeanEstimate alt{rng.uniform(-50.0, 50.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 0.5)};
+    const TTestResult r = welch_ttest(d, alt, 0.95);
+    ASSERT_FALSE(std::isnan(r.difference));
+    ASSERT_FALSE(std::isnan(r.half_width));
+    EXPECT_GE(r.half_width, 0.0);
+    switch (r.verdict) {
+      case Significance::kBetter:
+        EXPECT_GT(r.difference - r.half_width, 0.0);
+        break;
+      case Significance::kWorse:
+        EXPECT_LT(r.difference + r.half_width, 0.0);
+        break;
+      case Significance::kIndeterminate:
+        EXPECT_LE(r.difference - r.half_width, 0.0);
+        EXPECT_GE(r.difference + r.half_width, 0.0);
+        break;
+      case Significance::kZero:
+        EXPECT_EQ(r.difference, 0.0);
+        break;
+    }
+  }
+}
+
+TEST(StatsProperty, TTestSwapNegatesTheDifference) {
+  std::uint64_t seed = 1101;
+  for (int round = 0; round < 100; ++round) {
+    Rng rng{seed++};
+    MeanEstimate d{rng.uniform(-10.0, 10.0), rng.uniform(0.0, 4.0),
+                   rng.uniform(0.0, 0.1)};
+    MeanEstimate alt{rng.uniform(-10.0, 10.0), rng.uniform(0.0, 4.0),
+                     rng.uniform(0.0, 0.1)};
+    const TTestResult ab = welch_ttest(d, alt, 0.95);
+    const TTestResult ba = welch_ttest(alt, d, 0.95);
+    EXPECT_EQ(ab.difference, -ba.difference);
+    EXPECT_EQ(ab.half_width, ba.half_width);
+    if (ab.verdict == Significance::kBetter) {
+      EXPECT_EQ(ba.verdict, Significance::kWorse);
+    } else if (ab.verdict == Significance::kWorse) {
+      EXPECT_EQ(ba.verdict, Significance::kBetter);
+    } else {
+      EXPECT_EQ(ba.verdict, ab.verdict);
+    }
+  }
+}
+
+TEST(StatsProperty, TTestZeroVarianceDuplicateSamples) {
+  // Perfectly consistent measurements (duplicate-heavy to the limit): no
+  // variance, so the verdict is decided by the sign of the difference alone
+  // and the zero/zero case classifies as kZero.
+  const MeanEstimate fast{10.0, 0.0, 0.0};
+  const MeanEstimate slow{12.0, 0.0, 0.0};
+  EXPECT_EQ(welch_ttest(slow, fast).verdict, Significance::kBetter);
+  EXPECT_EQ(welch_ttest(fast, slow).verdict, Significance::kWorse);
+  const MeanEstimate zero{0.0, 0.0, 0.0};
+  EXPECT_EQ(welch_ttest(zero, zero).verdict, Significance::kZero);
+  const TTestResult equal = welch_ttest(fast, fast);
+  EXPECT_EQ(equal.verdict, Significance::kZero);
+  EXPECT_EQ(equal.difference, 0.0);
+  EXPECT_EQ(equal.half_width, 0.0);
+}
+
+TEST(StatsProperty, TTestSingleSampleComposition) {
+  // A size-1 edge contributes a point estimate: zero var_of_mean and zero
+  // dof_denom.  Composing it with a measured edge must stay NaN-free and
+  // fall back to the other side's uncertainty.
+  const MeanEstimate point{5.0, 0.0, 0.0};
+  const MeanEstimate measured{7.0, 2.0, 0.4};
+  const MeanEstimate composed = point + measured;
+  EXPECT_EQ(composed.mean, 12.0);
+  const TTestResult r = welch_ttest(composed, measured, 0.95);
+  ASSERT_FALSE(std::isnan(r.difference));
+  ASSERT_FALSE(std::isnan(r.half_width));
+  ASSERT_FALSE(std::isnan(r.dof));
+  EXPECT_GE(r.dof, 1.0);
+}
+
+TEST(StatsProperty, SummaryOfDuplicatesHasZeroVariance) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) s.add(3.25);
+  EXPECT_EQ(s.mean(), 3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.25);
+  EXPECT_EQ(s.max(), 3.25);
+  const MeanEstimate e = MeanEstimate::from_summary(s);
+  EXPECT_EQ(e.var_of_mean, 0.0);
+  ASSERT_FALSE(std::isnan(e.dof_denom));
+}
+
+}  // namespace
+}  // namespace pathsel::stats

@@ -186,6 +186,73 @@ for threads in 4 8; do
   fi
 done
 
+# --results-out / --results-in contract: both bound the run to one side of
+# the sweep, so combining them with flags from the other side is a usage
+# error validated before any I/O (the input path below does not exist, yet
+# the exit code must still be 2).  Reading a missing results file is exit 3,
+# a corrupted one exit 4, and a split run's concatenated stdout must be
+# byte-identical to the fused run at every thread count.
+expect 2 "results-out with results-in" -- \
+  analyze --in "$TMP/no-such-file" --results-out "$TMP/r.psrc" \
+  --results-in "$TMP/r.psrc"
+expect 2 "results-out with --csv" -- \
+  analyze --in "$TMP/no-such-file" --results-out "$TMP/r.psrc" --csv
+expect 2 "results-out with --coverage" -- \
+  analyze --in "$TMP/no-such-file" --results-out "$TMP/r.psrc" --coverage
+expect 2 "results-out with --disjoint" -- \
+  analyze --in "$TMP/no-such-file" --results-out "$TMP/r.psrc" --disjoint 2
+expect 2 "results-out with bandwidth metric" -- \
+  analyze --in "$TMP/no-such-file" --metric bandwidth \
+  --results-out "$TMP/r.psrc"
+expect 2 "results-in with --in" -- \
+  analyze --in "$TMP/no-such-file" --results-in "$TMP/no-such-file"
+expect 2 "results-in with --metric" -- \
+  analyze --results-in "$TMP/no-such-file" --metric rtt
+expect 2 "results-in with --min-samples" -- \
+  analyze --results-in "$TMP/no-such-file" --min-samples 2
+expect 2 "results-in with --one-hop" -- \
+  analyze --results-in "$TMP/no-such-file" --one-hop
+expect 2 "results-in with --kernel" -- \
+  analyze --results-in "$TMP/no-such-file" --kernel dense
+expect 2 "results-in with --simd" -- \
+  analyze --results-in "$TMP/no-such-file" --simd scalar
+expect 2 "results-in with --coverage" -- \
+  analyze --results-in "$TMP/no-such-file" --coverage
+expect 2 "results-in with --disjoint" -- \
+  analyze --results-in "$TMP/no-such-file" --disjoint 2
+expect 3 "results-in missing file" -- \
+  analyze --results-in "$TMP/no-such-file"
+printf 'not a results file\n' > "$TMP/bad.psrc"
+expect 4 "results-in malformed file" -- analyze --results-in "$TMP/bad.psrc"
+expect 0 "analyze with results-out" -- \
+  analyze --in "$TMP/uw3.ds" --min-samples 2 --results-out "$TMP/r.psrc"
+expect 0 "analyze with results-in" -- analyze --results-in "$TMP/r.psrc"
+# A truncated results file must be a parse error, not a crash.
+head -c 40 "$TMP/r.psrc" > "$TMP/trunc.psrc"
+expect 4 "results-in truncated file" -- analyze --results-in "$TMP/trunc.psrc"
+
+for threads in 1 4 8; do
+  "$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --threads "$threads" \
+    > "$TMP/fused.t$threads" 2>/dev/null
+  "$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --threads "$threads" \
+    --results-out "$TMP/split.t$threads.psrc" \
+    > "$TMP/split_head.t$threads" 2>/dev/null
+  "$CLI" analyze --results-in "$TMP/split.t$threads.psrc" \
+    --threads "$threads" > "$TMP/split_tail.t$threads" 2>/dev/null
+  cat "$TMP/split_head.t$threads" "$TMP/split_tail.t$threads" \
+    > "$TMP/split.t$threads"
+  if ! cmp -s "$TMP/fused.t$threads" "$TMP/split.t$threads"; then
+    echo "FAIL: split-run stdout differs from fused at $threads threads" >&2
+    failures=$((failures + 1))
+  fi
+done
+for threads in 4 8; do
+  if ! cmp -s "$TMP/split.t1.psrc" "$TMP/split.t$threads.psrc"; then
+    echo "FAIL: results file differs between 1 and $threads threads" >&2
+    failures=$((failures + 1))
+  fi
+done
+
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a
 # metrics-off run (observability must never change analysis output).

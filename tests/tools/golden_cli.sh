@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Golden-file regression for pathsel_cli's analysis pipeline.
+#
+# The snapshots in tests/golden/cli were captured BEFORE the columnar
+# results refactor, so this harness is the equivalence proof the refactor
+# rides on: the ported figure/confidence/coverage/campaign pipeline must
+# reproduce each of them byte for byte.  On top of the fused-output checks
+# it locks the split-run contract: `analyze --results-out` followed by
+# `analyze --results-in` must produce stdout that concatenates to exactly
+# the fused run's bytes, and the intermediate results file must survive a
+# read-rewrite cycle unchanged (serialize -> parse -> serialize
+# byte-stability, end to end through the CLI).
+#
+# Regenerate snapshots after an intentional output change with:
+#   PATHSEL_UPDATE_GOLDEN=1 ctest -R tools_cli_golden
+set -u
+
+GOLDEN_DIR="${1:?usage: golden_cli.sh <golden-dir> <path-to-pathsel_cli>}"
+CLI="${2:?usage: golden_cli.sh <golden-dir> <path-to-pathsel_cli>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# One thread keeps the configuration minimal; the sweeps are thread-count
+# invariant, which the cli_errors harness checks separately.
+export PATHSEL_THREADS=1
+
+failures=0
+
+check() {
+  local name="$1" actual="$2"
+  local golden="$GOLDEN_DIR/$name.golden"
+  if [[ "${PATHSEL_UPDATE_GOLDEN:-0}" != 0 ]]; then
+    cp "$actual" "$golden"
+    echo "updated $golden"
+    return
+  fi
+  if [[ ! -f "$golden" ]]; then
+    echo "FAIL: missing golden file $golden" >&2
+    echo "      (run with PATHSEL_UPDATE_GOLDEN=1 to create it)" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! cmp -s "$golden" "$actual"; then
+    echo "FAIL: $name drifted from its golden:" >&2
+    diff -u "$golden" "$actual" >&2 || true
+    echo "      (PATHSEL_UPDATE_GOLDEN=1 regenerates if intentional)" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Fixed dataset: UW3 at scale 0.05, default seed — the same bytes the
+# goldens were captured from.
+if ! "$CLI" generate --dataset UW3 --scale 0.05 --out "$TMP/uw3.ds" \
+    > /dev/null 2> "$TMP/gen.err"; then
+  echo "FAIL: generate exited nonzero:" >&2
+  cat "$TMP/gen.err" >&2
+  exit 1
+fi
+
+"$CLI" analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2 \
+  > "$TMP/analyze_rtt.out" 2>/dev/null
+check analyze_rtt "$TMP/analyze_rtt.out"
+
+"$CLI" analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2 --csv \
+  > "$TMP/analyze_rtt_csv.out" 2>/dev/null
+check analyze_rtt_csv "$TMP/analyze_rtt_csv.out"
+
+"$CLI" analyze --in "$TMP/uw3.ds" --metric loss --min-samples 2 \
+  > "$TMP/analyze_loss.out" 2>/dev/null
+check analyze_loss "$TMP/analyze_loss.out"
+
+"$CLI" analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2 --coverage \
+  > "$TMP/analyze_rtt_coverage.out" 2>/dev/null
+check analyze_rtt_coverage "$TMP/analyze_rtt_coverage.out"
+
+"$CLI" analyze --in "$TMP/uw3.ds" --min-samples 2 --disjoint 2 --csv \
+  > "$TMP/analyze_disjoint_csv.out" 2>/dev/null
+check analyze_disjoint_csv "$TMP/analyze_disjoint_csv.out"
+
+# Campaign disjoint TSV (regenerates UW3 internally at the same seed).
+if ! "$CLI" campaign --out-dir "$TMP/camp" --datasets UW3 --scale 0.05 \
+    --disjoint 2 > /dev/null 2> "$TMP/camp.err"; then
+  echo "FAIL: campaign exited nonzero:" >&2
+  cat "$TMP/camp.err" >&2
+  failures=$((failures + 1))
+else
+  check campaign_disjoint_tsv "$TMP/camp/UW3.disjoint.tsv"
+fi
+
+# Split-run contract against the same goldens: --results-out stdout followed
+# by --results-in stdout must equal the fused run's bytes exactly.
+"$CLI" analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2 \
+  --results-out "$TMP/cols.psrc" > "$TMP/split_head.out" 2>/dev/null
+"$CLI" analyze --results-in "$TMP/cols.psrc" \
+  > "$TMP/split_tail.out" 2>/dev/null
+cat "$TMP/split_head.out" "$TMP/split_tail.out" > "$TMP/split_rtt.out"
+check analyze_rtt "$TMP/split_rtt.out"
+
+"$CLI" analyze --results-in "$TMP/cols.psrc" --csv \
+  > "$TMP/split_tail_csv.out" 2>/dev/null
+cat "$TMP/split_head.out" "$TMP/split_tail_csv.out" > "$TMP/split_rtt_csv.out"
+check analyze_rtt_csv "$TMP/split_rtt_csv.out"
+
+# The intermediate file is byte-stable: a second --results-out run over the
+# same dataset must reproduce it exactly (deterministic serialization).
+"$CLI" analyze --in "$TMP/uw3.ds" --metric rtt --min-samples 2 \
+  --results-out "$TMP/cols2.psrc" > /dev/null 2>&1
+if ! cmp -s "$TMP/cols.psrc" "$TMP/cols2.psrc"; then
+  echo "FAIL: --results-out is not deterministic between runs" >&2
+  failures=$((failures + 1))
+fi
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "$failures golden check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI golden outputs match"

@@ -31,6 +31,17 @@
 //       mutually exclusive with --one-hop/--kernel/--simd.  K is checked
 //       against the graph's N-2 ceiling after the dataset loads (a data
 //       error, exit 1); malformed K is a usage error (exit 2).
+//       --results-out FILE stops after the sweep and writes the columnar
+//       results (core/result_columns.h binary format, atomic + CRC-checked)
+//       instead of post-processing; --results-in FILE starts from such a
+//       file, skipping the dataset and sweep entirely — the interchange the
+//       scenario-matrix workers use to split an analysis from its
+//       post-processing.  A --results-out run prints only the `path graph:`
+//       line and a --results-in run the `pairs analyzed:` lines onward, so
+//       the two stdouts concatenate to exactly the fused run's output (a
+//       golden-enforced contract).  Flags that shape the sweep cannot be
+//       combined with --results-in, and post-processing flags cannot be
+//       combined with --results-out (usage errors, checked before I/O).
 //   pathsel_cli campaign --out-dir DIR [--datasets A,B,...] [--scale S]
 //                        [--seed N] [--faults F] [--fault-seed N]
 //                        [--checkpoint-dir DIR] [--resume]
@@ -83,6 +94,7 @@
 #include "core/coverage.h"
 #include "core/figures.h"
 #include "core/path_table.h"
+#include "core/result_columns.h"
 #include "meas/campaign.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
@@ -137,6 +149,9 @@ int usage() {
                "                      [--kernel auto|dense|search]\n"
                "                      [--simd auto|avx2|scalar]\n"
                "                      [--disjoint K] [--disjoint-mode link|node]\n"
+               "                      [--results-out FILE]\n"
+               "  pathsel_cli analyze --results-in FILE [--csv] [--threads N]\n"
+               "                      [--deadline SEC]\n"
                "  pathsel_cli campaign --out-dir DIR [--datasets A,B,...]\n"
                "                       [--scale S] [--seed N] [--faults F]\n"
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
@@ -324,17 +339,7 @@ int write_disjoint_report(const std::string& out_dir, const std::string& name,
          core::to_string(opt.mode) + " k=" + std::to_string(k) +
          " metric=rtt min_samples=" + std::to_string(build.min_samples) +
          "\n";
-  tsv += "a\tb\trequested_k\tfound_k\tdefault_value\tbest_value\t"
-         "total_weight\n";
-  char row[160];
-  for (const core::PairDisjointResult& r : swept.value()) {
-    std::snprintf(row, sizeof(row), "%d\t%d\t%d\t%d\t%.6g\t%.6g\t%.6g\n",
-                  r.a.value(), r.b.value(), r.requested_k, r.found_k(),
-                  r.default_value,
-                  r.paths.empty() ? -1.0 : r.paths.front().value,
-                  r.total_weight);
-    tsv += row;
-  }
+  tsv += core::render_disjoint_rows(swept.value(), '\t');
   const std::string tsv_path = out_dir + "/" + name + ".disjoint.tsv";
   const Status wrote = write_file_atomic(tsv_path, tsv);
   if (!wrote.is_ok()) {
@@ -575,6 +580,39 @@ void print_coverage(const core::CoverageSummary& c) {
   table.print(std::cout);
 }
 
+// The post-sweep half of `analyze` — everything after the sweep reads the
+// columnar results, whether they came from this process's sweep (fused run)
+// or a --results-in file (split run).  Prints the `pairs analyzed:` line
+// onward; coverage is nullptr for split runs (it summarizes the dataset,
+// which a results file deliberately does not carry).
+int run_post_processing(const core::ResultColumns& columns, int threads,
+                        const core::CoverageSummary* coverage, bool csv) {
+  const auto cdf = core::improvement_cdf(columns, threads);
+  const auto tally_checked =
+      core::classify_significance_checked(columns, 0.95, threads, &g_cancel);
+  if (!tally_checked.is_ok()) {
+    std::fprintf(stderr, "%s\n", tally_checked.status().to_string().c_str());
+    return exit_code_for(tally_checked.status());
+  }
+  const core::SignificanceTally& tally = tally_checked.value();
+  std::printf("pairs analyzed: %zu\n", columns.size());
+  std::printf("better alternate exists: %.0f%%\n",
+              100.0 * cdf.fraction_above(0.0));
+  std::printf("95%% significant: better %.0f%%, indeterminate %.0f%%, "
+              "worse %.0f%%\n",
+              100.0 * tally.better, 100.0 * tally.indeterminate,
+              100.0 * tally.worse);
+  if (coverage != nullptr) print_coverage(*coverage);
+  if (csv) {
+    const auto series = cdf.to_series("improvement");
+    std::printf("improvement,fraction\n");
+    for (std::size_t i = 0; i < series.x.size(); ++i) {
+      std::printf("%.6g,%.6g\n", series.x[i], series.y[i]);
+    }
+  }
+  return kExitOk;
+}
+
 int cmd_analyze(const FlagMap& flags) {
   // Validate every flag before touching the input file, so usage errors are
   // reported as such even when the file is also bad.
@@ -583,6 +621,40 @@ int cmd_analyze(const FlagMap& flags) {
   if (metric != "rtt" && metric != "loss" && metric != "bandwidth") {
     std::fprintf(stderr, "unknown metric: %s\n", metric.c_str());
     return kExitUsage;
+  }
+
+  // The split-run flags bound what the run can do: --results-out stops after
+  // the sweep (post-processing flags would silently do nothing), --results-in
+  // starts after it (sweep-shaping flags could not be honoured).  Both are
+  // usage errors caught before any file is touched.
+  const bool results_out = flags.contains("results-out");
+  const bool results_in = flags.contains("results-in");
+  if (results_out) {
+    for (const char* other : {"results-in", "csv", "coverage", "disjoint"}) {
+      if (flags.contains(other)) {
+        std::fprintf(stderr, "--results-out cannot be combined with --%s\n",
+                     other);
+        return kExitUsage;
+      }
+    }
+    if (metric == "bandwidth") {
+      std::fprintf(stderr,
+                   "--results-out does not apply to bandwidth analysis\n");
+      return kExitUsage;
+    }
+  }
+  if (results_in) {
+    for (const char* other :
+         {"in", "metric", "min-samples", "one-hop", "kernel", "simd",
+          "coverage", "disjoint", "disjoint-mode"}) {
+      if (flags.contains(other)) {
+        std::fprintf(stderr,
+                     "--results-in reads a finished sweep; it cannot be "
+                     "combined with --%s\n",
+                     other);
+        return kExitUsage;
+      }
+    }
   }
 
   core::Kernel kernel = core::Kernel::kAuto;
@@ -680,6 +752,24 @@ int cmd_analyze(const FlagMap& flags) {
   if (!arm_deadline(flags)) return kExitUsage;
   build.cancel = &g_cancel;
 
+  if (results_in) {
+    const std::string& path = flags.at("results-in");
+    const auto sets = core::read_result_columns(path);
+    if (!sets.is_ok()) {
+      std::fprintf(stderr, "%s\n", sets.status().to_string().c_str());
+      return exit_code_for(sets.status());
+    }
+    if (sets.value().size() != 1) {
+      std::fprintf(stderr,
+                   "%s holds %zu column sets; analyze --results-in needs "
+                   "exactly one\n",
+                   path.c_str(), sets.value().size());
+      return kExitDataError;
+    }
+    return run_post_processing(sets.value().front(), static_cast<int>(threads),
+                               nullptr, flags.contains("csv"));
+  }
+
   meas::Dataset ds;
   if (const int rc = load(flags, ds); rc != kExitOk) return rc;
 
@@ -775,14 +865,8 @@ int cmd_analyze(const FlagMap& flags) {
                     : 100.0 * static_cast<double>(beats_direct) /
                           static_cast<double>(results.size()));
     if (flags.contains("csv")) {
-      std::printf(
-          "a,b,requested_k,found_k,default_value,best_value,total_weight\n");
-      for (const core::PairDisjointResult& r : results) {
-        std::printf("%d,%d,%d,%d,%.6g,%.6g,%.6g\n", r.a.value(), r.b.value(),
-                    r.requested_k, r.found_k(), r.default_value,
-                    r.paths.empty() ? -1.0 : r.paths.front().value,
-                    r.total_weight);
-      }
+      const std::string rows = core::render_disjoint_rows(results, ',');
+      std::fwrite(rows.data(), 1, rows.size(), stdout);
     }
     return kExitOk;
   }
@@ -795,39 +879,38 @@ int cmd_analyze(const FlagMap& flags) {
   analyze.kernel = kernel;
   analyze.simd = simd;
 
-  const auto result = core::analyze_with_coverage(ds, build, analyze);
+  auto result = core::analyze_columns_with_coverage(ds, build, analyze);
   if (!result.is_ok()) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
     return exit_code_for(result.status());
   }
-  const core::DegradedAnalysis& analysis = result.value();
+  core::DegradedColumnsAnalysis& analysis = result.value();
   std::printf("path graph: %zu measured paths over %zu hosts\n",
               analysis.coverage.usable_edges, analysis.coverage.hosts);
-  const auto& results = analysis.results;
-  const auto cdf = core::improvement_cdf(results, static_cast<int>(threads));
-  const auto tally_checked = core::classify_significance_checked(
-      results, 0.95, static_cast<int>(threads), &g_cancel);
-  if (!tally_checked.is_ok()) {
-    std::fprintf(stderr, "%s\n", tally_checked.status().to_string().c_str());
-    return exit_code_for(tally_checked.status());
-  }
-  const core::SignificanceTally& tally = tally_checked.value();
-  std::printf("pairs analyzed: %zu\n", results.size());
-  std::printf("better alternate exists: %.0f%%\n",
-              100.0 * cdf.fraction_above(0.0));
-  std::printf("95%% significant: better %.0f%%, indeterminate %.0f%%, "
-              "worse %.0f%%\n",
-              100.0 * tally.better, 100.0 * tally.indeterminate,
-              100.0 * tally.worse);
-  if (flags.contains("coverage")) print_coverage(analysis.coverage);
-  if (flags.contains("csv")) {
-    const auto series = cdf.to_series("improvement");
-    std::printf("improvement,fraction\n");
-    for (std::size_t i = 0; i < series.x.size(); ++i) {
-      std::printf("%.6g,%.6g\n", series.x[i], series.y[i]);
+  if (results_out) {
+    // Stop after the sweep: classify (so the file carries the verdicts) and
+    // write the columns.  stdout holds only the `path graph:` line, so a
+    // later --results-in run's stdout concatenates to the fused output.
+    const std::string& path = flags.at("results-out");
+    const Status annotated = core::annotate_significance(
+        analysis.columns, 0.95, static_cast<int>(threads), &g_cancel);
+    if (!annotated.is_ok()) {
+      std::fprintf(stderr, "%s\n", annotated.to_string().c_str());
+      return exit_code_for(annotated);
     }
+    const Status wrote = core::write_result_columns(
+        path, std::span<const core::ResultColumns>{&analysis.columns, 1});
+    if (!wrote.is_ok()) {
+      std::fprintf(stderr, "%s\n", wrote.to_string().c_str());
+      return exit_code_for(wrote);
+    }
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return kExitOk;
   }
-  return kExitOk;
+  return run_post_processing(
+      analysis.columns, static_cast<int>(threads),
+      flags.contains("coverage") ? &analysis.coverage : nullptr,
+      flags.contains("csv"));
 }
 
 // Dumps the registry snapshot to stderr in the requested format.  stderr
@@ -912,7 +995,8 @@ int main(int argc, char** argv) {
   if (command == "analyze") {
     if (!parse_flags(argc, argv, 2,
                      {"in", "metric", "min-samples", "threads", "deadline",
-                      "kernel", "simd", "disjoint", "disjoint-mode"},
+                      "kernel", "simd", "disjoint", "disjoint-mode",
+                      "results-out", "results-in"},
                      {"one-hop", "csv", "coverage"}, {"metrics"}, flags)) {
       return kExitUsage;
     }
