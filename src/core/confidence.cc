@@ -82,6 +82,21 @@ Result<SignificanceTally> classify_significance_checked(
                                        confidence, threads, cancel);
 }
 
+SignificanceClass classify_pair(const ResultColumns& results, std::size_t i,
+                                double confidence) {
+  switch (pair_ttest(results, i, confidence).verdict) {
+    case stats::Significance::kBetter:
+      return SignificanceClass::kBetter;
+    case stats::Significance::kWorse:
+      return SignificanceClass::kWorse;
+    case stats::Significance::kIndeterminate:
+      return SignificanceClass::kIndeterminate;
+    case stats::Significance::kZero:
+      return SignificanceClass::kZero;
+  }
+  return SignificanceClass::kIndeterminate;
+}
+
 Status annotate_significance(ResultColumns& results, double confidence,
                              int threads, const CancelToken* cancel) {
   if (results.empty()) return Status::ok();
@@ -92,22 +107,8 @@ Status annotate_significance(ResultColumns& results, double confidence,
       results.size(), kChunk,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
-          SignificanceClass cls = SignificanceClass::kIndeterminate;
-          switch (pair_ttest(results, i, confidence).verdict) {
-            case stats::Significance::kBetter:
-              cls = SignificanceClass::kBetter;
-              break;
-            case stats::Significance::kWorse:
-              cls = SignificanceClass::kWorse;
-              break;
-            case stats::Significance::kIndeterminate:
-              cls = SignificanceClass::kIndeterminate;
-              break;
-            case stats::Significance::kZero:
-              cls = SignificanceClass::kZero;
-              break;
-          }
-          results.significance[i] = static_cast<std::int8_t>(cls);
+          results.significance[i] =
+              static_cast<std::int8_t>(classify_pair(results, i, confidence));
         }
       },
       cancel);

@@ -46,6 +46,12 @@ struct SignificanceTally {
     std::span<const PairResult> results, double confidence = 0.95,
     int threads = 0, const CancelToken* cancel = nullptr);
 
+/// The verdict annotate_significance() writes for one pair — exposed so the
+/// serve engine can re-classify just the rows an incremental update touched
+/// and land on exactly the bytes a full annotate sweep would produce.
+[[nodiscard]] SignificanceClass classify_pair(const ResultColumns& results,
+                                              std::size_t i, double confidence);
+
 /// Fills the significance column with the per-pair welch_ttest verdicts the
 /// tallies above count (same confidence, same chunking — bit-identical for
 /// every thread count).  Serialized files then carry the classification, so

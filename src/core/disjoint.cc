@@ -359,6 +359,22 @@ Result<std::vector<PairDisjointResult>> compute_disjoint_alternates(
   return results;
 }
 
+Result<PairDisjointResult> compute_disjoint_for_pair(
+    const PathTable& table, const PathEdge& direct,
+    const DisjointOptions& options) {
+  const Status valid = validate_disjoint_k(options.k, table.hosts().size());
+  if (!valid.is_ok()) return valid;
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return options.cancel->status();
+  }
+  PairScratch scratch;
+  PairDisjointResult result = analyze_pair(table, direct, options, scratch);
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return options.cancel->status();
+  }
+  return result;
+}
+
 std::string render_disjoint_rows(std::span<const PairDisjointResult> results,
                                  char sep) {
   std::string out;

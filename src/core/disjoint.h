@@ -105,6 +105,18 @@ struct PairDisjointResult {
 compute_disjoint_alternates(const PathTable& table,
                             const DisjointOptions& options = {});
 
+/// Disjoint alternates for a single measured pair — the same computation the
+/// sweep above runs for that pair, bit for bit, packaged for the online serve
+/// engine's point queries.  `direct` must be an edge of `table`
+/// (find()-returned).  k is validated against the table (kInvalidArgument);
+/// options.cancel is polled before the computation starts and again before
+/// the result is released, so a per-query deadline token bounds the answer at
+/// single-pair granularity (kDeadlineExceeded/kCancelled, result discarded).
+/// options.threads is ignored — one pair is one unit of work.
+[[nodiscard]] Result<PairDisjointResult> compute_disjoint_for_pair(
+    const PathTable& table, const PathEdge& direct,
+    const DisjointOptions& options = {});
+
 /// Renders the canonical disjoint-report rows — header line plus one
 /// `a b requested_k found_k default_value best_value total_weight` row per
 /// pair (%.6g values, best_value -1 for disconnected pairs) — with the given

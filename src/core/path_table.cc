@@ -159,6 +159,11 @@ const PathEdge* PathTable::find(topo::HostId x, topo::HostId y) const {
   return it == edge_index_.end() ? nullptr : &edges_[it->second];
 }
 
+PathEdge* PathTable::find_mutable(topo::HostId x, topo::HostId y) {
+  const auto it = edge_index_.find(edge_key(x, y));
+  return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
 std::size_t PathTable::host_index(topo::HostId h) const {
   const auto it = host_index_.find(h);
   PATHSEL_EXPECT(it != host_index_.end(), "host not in path table");

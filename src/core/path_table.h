@@ -91,6 +91,12 @@ class PathTable {
   /// filtered out.
   [[nodiscard]] const PathEdge* find(topo::HostId x, topo::HostId y) const;
 
+  /// Mutable edge access for the online serve engine, which folds incremental
+  /// measurement updates into the summaries in place.  The edge set itself is
+  /// immutable (hosts/edges are never added or removed), so indices and spans
+  /// handed out earlier stay valid.
+  [[nodiscard]] PathEdge* find_mutable(topo::HostId x, topo::HostId y);
+
   /// Index of a host in hosts(); aborts for unknown hosts.
   [[nodiscard]] std::size_t host_index(topo::HostId h) const;
 

@@ -209,6 +209,44 @@ ResultColumns from_pairs(std::span<const PairResult> results, Metric metric) {
   return c;
 }
 
+const char* to_string(SignificanceClass cls) noexcept {
+  switch (cls) {
+    case SignificanceClass::kUnclassified:
+      return "unclassified";
+    case SignificanceClass::kBetter:
+      return "better";
+    case SignificanceClass::kWorse:
+      return "worse";
+    case SignificanceClass::kIndeterminate:
+      return "indeterminate";
+    case SignificanceClass::kZero:
+      return "zero";
+  }
+  return "unclassified";
+}
+
+void overwrite_row(ResultColumns& c, std::size_t i, const PairResult& r) {
+  PATHSEL_EXPECT(i < c.size(), "overwrite_row index out of range");
+  PATHSEL_EXPECT(c.src[i] == r.a.value() && c.dst[i] == r.b.value(),
+                 "overwrite_row pair identity mismatch");
+  PATHSEL_EXPECT(
+      c.hop_count[i] == static_cast<std::int32_t>(r.via.size()),
+      "overwrite_row relay-sequence length changed");
+  c.default_value[i] = r.default_value;
+  c.alternate_value[i] = r.alternate_value;
+  c.default_mean[i] = r.default_estimate.mean;
+  c.default_var[i] = r.default_estimate.var_of_mean;
+  c.default_dof_denom[i] = r.default_estimate.dof_denom;
+  c.alternate_mean[i] = r.alternate_estimate.mean;
+  c.alternate_var[i] = r.alternate_estimate.var_of_mean;
+  c.alternate_dof_denom[i] = r.alternate_estimate.dof_denom;
+  c.relay[i] = r.via.empty() ? kNoRelay : r.via.front().value();
+  const std::uint64_t base = c.via_offset[i];
+  for (std::size_t h = 0; h < r.via.size(); ++h) {
+    c.via[base + h] = r.via[h].value();
+  }
+}
+
 std::vector<PairResult> to_pairs(const ResultColumns& columns) {
   std::vector<PairResult> out;
   out.resize(columns.size());

@@ -134,6 +134,19 @@ struct ResultColumns {
 /// (the significance column, which PairResult cannot hold, is dropped).
 [[nodiscard]] std::vector<PairResult> to_pairs(const ResultColumns& columns);
 
+/// Lower-case name of a significance class ("better", "worse", ...), for
+/// serve responses and reports.
+[[nodiscard]] const char* to_string(SignificanceClass cls) noexcept;
+
+/// Rewrites row i in place from a freshly computed PairResult, field for
+/// field exactly as from_pairs stores it, so an incrementally maintained
+/// column set stays byte-identical to a from_pairs rebuild.  The pair
+/// identity and relay-sequence length must match the existing row (the serve
+/// engine's row set is time-invariant; a changed hop count would shift the
+/// flattened via pool).  The significance column is left untouched — callers
+/// re-classify it separately (core/confidence.h classify_pair).
+void overwrite_row(ResultColumns& columns, std::size_t i, const PairResult& r);
+
 inline constexpr std::uint32_t kResultColumnsMagic = 0x43525350;  // "PSRC"
 inline constexpr std::uint32_t kResultColumnsVersion = 1;
 

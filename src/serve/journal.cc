@@ -1,0 +1,459 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "util/atomic_io.h"
+
+namespace pathsel::serve {
+
+namespace {
+
+// Little-endian encoding, byte by byte — same conventions as the PSRC
+// serializer (core/result_columns.cc), so the format is host-independent.
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void append_f64(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Minimal bounds-checked reader; the journal scanner treats any shortfall as
+// a torn tail rather than an error, so this only reports "enough bytes?".
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_{bytes} {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool has(std::size_t n) const noexcept {
+    return remaining() >= n;
+  }
+
+  std::uint32_t take_u32() {
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t take_u64() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  std::int32_t take_i32() { return static_cast<std::int32_t>(take_u32()); }
+  std::int64_t take_i64() { return static_cast<std::int64_t>(take_u64()); }
+  double take_f64() { return std::bit_cast<double>(take_u64()); }
+  void skip(std::size_t n) noexcept { pos_ += n; }
+
+  [[nodiscard]] std::string_view view(std::size_t from, std::size_t n) const {
+    return bytes_.substr(from, n);
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_record_payload(const JournalRecord& r) {
+  std::string payload;
+  payload.reserve(kRecordPayloadBytes);
+  append_u64(payload, r.seq);
+  append_i32(payload, r.update.a.value());
+  append_i32(payload, r.update.b.value());
+  append_f64(payload, r.update.rtt_ms);
+  payload.push_back(r.update.lost ? '\x01' : '\x00');
+  return payload;
+}
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status::error(ErrorCode::kIoError,
+                       what + " " + path + ": " + std::strerror(errno));
+}
+
+void append_summary_raw(std::string& out, const stats::Summary::Raw& raw) {
+  append_i64(out, raw.n);
+  append_f64(out, raw.mean);
+  append_f64(out, raw.m2);
+  append_f64(out, raw.min);
+  append_f64(out, raw.max);
+}
+
+stats::Summary::Raw take_summary_raw(Cursor& c) {
+  stats::Summary::Raw raw;
+  raw.n = c.take_i64();
+  raw.mean = c.take_f64();
+  raw.m2 = c.take_f64();
+  raw.min = c.take_f64();
+  raw.max = c.take_f64();
+  return raw;
+}
+
+constexpr std::size_t kEdgeStateBytes = 4 + 4 + 8 + 2 * 5 * 8;
+
+}  // namespace
+
+Result<EdgeUpdate> parse_update(std::string_view spec) {
+  // Tokenize on single spaces; extra or missing fields are their own errors.
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char ch : spec) {
+    if (ch == ' ' || ch == '\t') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+
+  auto bad = [&](const std::string& why) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "malformed update '" + std::string{spec} + "': " + why);
+  };
+  if (tokens.size() != 5) {
+    return bad("want 'sample A B RTT LOST' (5 fields, got " +
+               std::to_string(tokens.size()) + ")");
+  }
+  if (tokens[0] != "sample") {
+    return bad("unknown update kind '" + tokens[0] + "' (want 'sample')");
+  }
+
+  auto parse_host = [&](const std::string& tok, const char* which,
+                        std::int32_t& out) -> Status {
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (errno == ERANGE || end == tok.c_str() || *end != '\0' || v < 0 ||
+        v > std::numeric_limits<std::int32_t>::max()) {
+      return bad(std::string{which} + " host id '" + tok +
+                 "' is not a non-negative integer");
+    }
+    out = static_cast<std::int32_t>(v);
+    return Status::ok();
+  };
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  if (Status s = parse_host(tokens[1], "first", a); !s.is_ok()) return s;
+  if (Status s = parse_host(tokens[2], "second", b); !s.is_ok()) return s;
+  if (a == b) return bad("a path needs two distinct hosts");
+
+  errno = 0;
+  char* end = nullptr;
+  const double rtt = std::strtod(tokens[3].c_str(), &end);
+  if (errno == ERANGE || end == tokens[3].c_str() || *end != '\0' ||
+      !std::isfinite(rtt) || rtt < 0.0) {
+    return bad("rtt '" + tokens[3] + "' is not a finite non-negative number");
+  }
+  if (tokens[4] != "0" && tokens[4] != "1") {
+    return bad("lost flag '" + tokens[4] + "' must be 0 or 1");
+  }
+
+  EdgeUpdate u;
+  u.a = topo::HostId{std::min(a, b)};
+  u.b = topo::HostId{std::max(a, b)};
+  u.rtt_ms = rtt;
+  u.lost = tokens[4] == "1";
+  return u;
+}
+
+std::string serialize_journal_header(std::uint64_t fingerprint,
+                                     std::uint64_t generation,
+                                     std::uint64_t start_seq) {
+  std::string out;
+  out.reserve(kJournalHeaderBytes);
+  append_u32(out, kJournalMagic);
+  append_u32(out, kJournalVersion);
+  append_u64(out, fingerprint);
+  append_u64(out, generation);
+  append_u64(out, start_seq);
+  append_u32(out, crc32(out));
+  return out;
+}
+
+std::string serialize_journal_record(const JournalRecord& r) {
+  const std::string payload = encode_record_payload(r);
+  std::string out;
+  out.reserve(8 + payload.size());
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u32(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+JournalScan scan_journal(std::string_view bytes, std::uint64_t fingerprint) {
+  JournalScan scan;
+  Cursor c{bytes};
+  if (!c.has(kJournalHeaderBytes)) {
+    scan.reject_reason = "file shorter than the journal header";
+    return scan;
+  }
+  const std::uint32_t magic = c.take_u32();
+  const std::uint32_t version = c.take_u32();
+  const std::uint64_t fp = c.take_u64();
+  scan.generation = c.take_u64();
+  scan.start_seq = c.take_u64();
+  const std::uint32_t header_crc = c.take_u32();
+  if (magic != kJournalMagic) {
+    scan.reject_reason = "bad magic (not a PSJL journal)";
+    return scan;
+  }
+  if (version != kJournalVersion) {
+    scan.reject_reason =
+        "journal version " + std::to_string(version) +
+        " is newer than this binary's " + std::to_string(kJournalVersion);
+    return scan;
+  }
+  if (crc32(c.view(0, kJournalHeaderBytes - 4)) != header_crc) {
+    scan.reject_reason = "journal header CRC mismatch";
+    return scan;
+  }
+  if (fp != fingerprint) {
+    scan.reject_reason = "journal belongs to a different dataset/options "
+                         "(fingerprint mismatch)";
+    return scan;
+  }
+  scan.usable = true;
+  scan.valid_bytes = kJournalHeaderBytes;
+
+  std::uint64_t prev_seq = 0;
+  while (c.remaining() > 0) {
+    if (!c.has(8)) {
+      scan.truncated = true;
+      scan.truncation_reason = "torn record frame (partial length/CRC)";
+      break;
+    }
+    const std::size_t frame_start = c.pos();
+    const std::uint32_t len = c.take_u32();
+    const std::uint32_t rec_crc = c.take_u32();
+    if (len != kRecordPayloadBytes) {
+      scan.truncated = true;
+      scan.truncation_reason =
+          "record length " + std::to_string(len) + " is not the v1 payload size";
+      break;
+    }
+    if (!c.has(len)) {
+      scan.truncated = true;
+      scan.truncation_reason = "torn record payload (file ends mid-record)";
+      break;
+    }
+    const std::string_view payload = c.view(c.pos(), len);
+    if (crc32(payload) != rec_crc) {
+      scan.truncated = true;
+      scan.truncation_reason = "record CRC mismatch";
+      break;
+    }
+    c.skip(len);
+    Cursor p{payload};
+    JournalRecord r;
+    r.seq = p.take_u64();
+    r.update.a = topo::HostId{p.take_i32()};
+    r.update.b = topo::HostId{p.take_i32()};
+    r.update.rtt_ms = p.take_f64();
+    r.update.lost = payload[kRecordPayloadBytes - 1] != '\x00';
+    if (prev_seq != 0 && r.seq != prev_seq + 1) {
+      scan.truncated = true;
+      scan.truncation_reason =
+          "sequence break (record " + std::to_string(r.seq) + " after " +
+          std::to_string(prev_seq) + ")";
+      break;
+    }
+    prev_seq = r.seq;
+    scan.records.push_back(r);
+    scan.valid_bytes = frame_start + 8 + len;
+  }
+  return scan;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status JournalWriter::open(const std::string& path, std::size_t offset) {
+  close();
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    return io_error("cannot truncate journal", path);
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) return io_error("cannot open journal", path);
+  path_ = path;
+  return Status::ok();
+}
+
+Status JournalWriter::append(const JournalRecord& r) {
+  if (fd_ < 0) {
+    return Status::error(ErrorCode::kIoError, "journal is not open");
+  }
+  const std::string frame = serialize_journal_record(r);
+  const char* data = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = io_error("cannot append to journal", path_);
+      close();
+      return s;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    const Status s = io_error("cannot fsync journal", path_);
+    close();
+    return s;
+  }
+  return Status::ok();
+}
+
+ServeStateImage capture_serve_state(const core::PathTable& table,
+                                    std::uint64_t seq) {
+  ServeStateImage image;
+  image.seq = seq;
+  image.edges.reserve(table.edges().size());
+  for (const core::PathEdge& e : table.edges()) {
+    ServeStateImage::EdgeState s;
+    s.a = e.a.value();
+    s.b = e.b.value();
+    s.invocations = e.invocations;
+    s.rtt = e.rtt.raw();
+    s.loss = e.loss.raw();
+    image.edges.push_back(s);
+  }
+  return image;
+}
+
+Status restore_serve_state(const ServeStateImage& image,
+                           core::PathTable& table) {
+  if (image.edges.size() != table.edges().size()) {
+    return Status::error(
+        ErrorCode::kParseError,
+        "state snapshot holds " + std::to_string(image.edges.size()) +
+            " edges but the dataset builds " +
+            std::to_string(table.edges().size()));
+  }
+  for (std::size_t i = 0; i < image.edges.size(); ++i) {
+    const ServeStateImage::EdgeState& s = image.edges[i];
+    core::PathEdge* e = table.find_mutable(topo::HostId{s.a}, topo::HostId{s.b});
+    if (e == nullptr || &table.edges()[i] != e) {
+      return Status::error(ErrorCode::kParseError,
+                           "state snapshot edge (" + std::to_string(s.a) +
+                               ", " + std::to_string(s.b) +
+                               ") does not match the dataset's edge order");
+    }
+    e->invocations = s.invocations;
+    e->rtt = stats::Summary::from_raw(s.rtt);
+    e->loss = stats::Summary::from_raw(s.loss);
+  }
+  return Status::ok();
+}
+
+std::string serialize_serve_state(const ServeStateImage& image,
+                                  std::uint64_t fingerprint) {
+  std::string out;
+  out.reserve(32 + image.edges.size() * kEdgeStateBytes + 4);
+  append_u32(out, kServeStateMagic);
+  append_u32(out, kServeStateVersion);
+  append_u64(out, fingerprint);
+  append_u64(out, image.seq);
+  append_u64(out, image.edges.size());
+  for (const ServeStateImage::EdgeState& s : image.edges) {
+    append_i32(out, s.a);
+    append_i32(out, s.b);
+    append_i64(out, s.invocations);
+    append_summary_raw(out, s.rtt);
+    append_summary_raw(out, s.loss);
+  }
+  append_u32(out, crc32(out));
+  return out;
+}
+
+Result<ServeStateImage> parse_serve_state(std::string_view bytes,
+                                          std::uint64_t fingerprint) {
+  auto parse_error = [](const std::string& why) {
+    return Status::error(ErrorCode::kParseError,
+                         "serve state snapshot: " + why);
+  };
+  Cursor c{bytes};
+  if (!c.has(32 + 4)) return parse_error("file shorter than the header");
+  Cursor tail{bytes.substr(bytes.size() - 4)};
+  if (crc32(bytes.substr(0, bytes.size() - 4)) != tail.take_u32()) {
+    return parse_error("CRC mismatch (torn or corrupted file)");
+  }
+  const std::uint32_t magic = c.take_u32();
+  const std::uint32_t version = c.take_u32();
+  if (magic != kServeStateMagic) return parse_error("bad magic (not PSSV)");
+  if (version != kServeStateVersion) {
+    return parse_error("version " + std::to_string(version) +
+                       " is newer than this binary's " +
+                       std::to_string(kServeStateVersion));
+  }
+  const std::uint64_t fp = c.take_u64();
+  if (fp != fingerprint) {
+    return parse_error(
+        "fingerprint mismatch (snapshot from a different dataset/options)");
+  }
+  ServeStateImage image;
+  image.seq = c.take_u64();
+  const std::uint64_t count = c.take_u64();
+  const std::size_t body = bytes.size() - c.pos() - 4;
+  if (count > body / kEdgeStateBytes || count * kEdgeStateBytes != body) {
+    return parse_error("edge count does not match the file size");
+  }
+  image.edges.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ServeStateImage::EdgeState s;
+    s.a = c.take_i32();
+    s.b = c.take_i32();
+    s.invocations = c.take_i64();
+    s.rtt = take_summary_raw(c);
+    s.loss = take_summary_raw(c);
+    image.edges.push_back(s);
+  }
+  return image;
+}
+
+}  // namespace pathsel::serve

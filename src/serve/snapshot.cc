@@ -1,0 +1,59 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace pathsel::serve {
+
+SnapshotBoard::SnapshotBoard(std::size_t slots) : slots_(slots) {
+  PATHSEL_EXPECT(slots > 0, "SnapshotBoard needs at least one reader slot");
+}
+
+SnapshotBoard::~SnapshotBoard() {
+  // Single-threaded teardown: no readers may hold pins past the board.
+  delete current_.load(std::memory_order_relaxed);
+  for (const ServeSnapshot* s : retired_) delete s;
+}
+
+SnapshotBoard::Pin SnapshotBoard::pin(std::size_t slot) noexcept {
+  PATHSEL_EXPECT(slot < slots_.size(), "reader slot out of range");
+  std::atomic<const ServeSnapshot*>& hazard = slots_[slot].hazard;
+  for (;;) {
+    const ServeSnapshot* p = current_.load(std::memory_order_acquire);
+    hazard.store(p, std::memory_order_seq_cst);
+    // Re-validate: if a publish landed between the load and the hazard
+    // announcement, the writer may have missed the announcement while
+    // reclaiming — retry against the new current pointer.  The stale value
+    // in the hazard slot is never dereferenced.
+    if (current_.load(std::memory_order_seq_cst) == p) {
+      return Pin{p, &hazard};
+    }
+  }
+}
+
+void SnapshotBoard::publish(std::unique_ptr<const ServeSnapshot> next) {
+  const ServeSnapshot* old =
+      current_.exchange(next.release(), std::memory_order_seq_cst);
+  if (old != nullptr) retired_.push_back(old);
+  reclaim();
+}
+
+void SnapshotBoard::reclaim() {
+  auto pinned = [this](const ServeSnapshot* s) {
+    return std::any_of(slots_.begin(), slots_.end(), [s](const Slot& slot) {
+      return slot.hazard.load(std::memory_order_seq_cst) == s;
+    });
+  };
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (pinned(*it)) {
+      ++it;
+    } else {
+      delete *it;
+      it = retired_.erase(it);
+    }
+  }
+}
+
+}  // namespace pathsel::serve

@@ -1,0 +1,146 @@
+// Double-buffered, atomically swapped read snapshots for the serve engine.
+//
+// The read path must answer queries with ZERO locks: a reader pins the
+// current snapshot, answers from it, and unpins — while the writer thread
+// publishes replacements underneath it.  The classic hazard: the writer must
+// not free a snapshot a reader is still dereferencing, and the reader must
+// not pin a pointer the writer already freed (ABA / use-after-free).
+//
+// SnapshotBoard solves both with per-reader hazard slots:
+//
+//   reader pin:   p = current.load(acquire)
+//                 slot.store(p, seq_cst)          // announce intent
+//                 if (current.load(seq_cst) != p) retry
+//                 // p is now safe: the writer saw the announcement before
+//                 // it could have retired p, or p is still current.
+//   writer swap:  old = current.exchange(next, seq_cst)
+//                 retired.push(old)
+//                 free every retired s with s not present in any slot
+//
+// The re-validation closes the race where the writer swaps and scans slots
+// between the reader's two steps: if the pointer changed, the reader's
+// announcement may have come too late, so it retries (the swap is rare, the
+// retry loop is bounded in practice by publish frequency).  Slots are
+// cache-line sized so readers never false-share.
+//
+// Single writer, up to `slots` concurrent readers, each using a distinct
+// slot index (the trace runner hands thread i slot i).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/path_table.h"
+#include "core/result_columns.h"
+
+namespace pathsel::serve {
+
+/// Maps (src, dst) host-id pair to its row in the result columns.  The key
+/// packs both ids: (u64(src) << 32) | u32(dst).  Shared by every snapshot —
+/// the row set is time-invariant (the edge set never changes), so the index
+/// is built once and reference-counted.
+using RowIndex = std::unordered_map<std::uint64_t, std::size_t>;
+
+[[nodiscard]] constexpr std::uint64_t row_key(std::int32_t src,
+                                              std::int32_t dst) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+/// One immutable published state: the path table plus fully annotated result
+/// columns for both served metrics, stamped with the update sequence number
+/// and the logical publish time (for staleness accounting).
+struct ServeSnapshot {
+  std::uint64_t seq = 0;
+  std::int64_t publish_tick_ms = 0;
+  core::PathTable table;
+  core::ResultColumns rtt;
+  core::ResultColumns loss;
+  std::shared_ptr<const RowIndex> row_index;
+};
+
+class SnapshotBoard {
+ public:
+  /// `slots` bounds concurrent readers; each reader must use its own index.
+  explicit SnapshotBoard(std::size_t slots);
+  ~SnapshotBoard();
+  SnapshotBoard(const SnapshotBoard&) = delete;
+  SnapshotBoard& operator=(const SnapshotBoard&) = delete;
+
+  /// RAII pin: holds the snapshot alive for the reader's slot until
+  /// destruction.  Movable so queries can return it alongside results.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept
+        : snapshot_{other.snapshot_}, slot_{other.slot_} {
+      other.snapshot_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      release();
+      snapshot_ = other.snapshot_;
+      slot_ = other.slot_;
+      other.snapshot_ = nullptr;
+      other.slot_ = nullptr;
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    [[nodiscard]] const ServeSnapshot* get() const noexcept {
+      return snapshot_;
+    }
+    const ServeSnapshot* operator->() const noexcept { return snapshot_; }
+    const ServeSnapshot& operator*() const noexcept { return *snapshot_; }
+
+   private:
+    friend class SnapshotBoard;
+    Pin(const ServeSnapshot* snapshot, std::atomic<const ServeSnapshot*>* slot)
+        : snapshot_{snapshot}, slot_{slot} {}
+    void release() noexcept {
+      if (slot_ != nullptr) {
+        slot_->store(nullptr, std::memory_order_release);
+        slot_ = nullptr;
+      }
+      snapshot_ = nullptr;
+    }
+
+    const ServeSnapshot* snapshot_ = nullptr;
+    std::atomic<const ServeSnapshot*>* slot_ = nullptr;
+  };
+
+  /// Pins the current snapshot for reader `slot` (must be < slots, and no
+  /// two concurrent readers may share a slot).  Lock-free; retries only when
+  /// a publish lands between the load and the hazard announcement.
+  [[nodiscard]] Pin pin(std::size_t slot) noexcept;
+
+  /// Publishes `next` as the current snapshot (writer thread only).  Takes
+  /// ownership; retires the previous snapshot and frees every retired
+  /// snapshot no reader still has pinned.
+  void publish(std::unique_ptr<const ServeSnapshot> next);
+
+  /// Snapshots retired but still pinned by some reader (writer thread only;
+  /// exposed for tests that prove pins keep old snapshots alive).
+  [[nodiscard]] std::size_t retired_count() const noexcept {
+    return retired_.size();
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<const ServeSnapshot*> hazard{nullptr};
+  };
+
+  void reclaim();
+
+  std::atomic<const ServeSnapshot*> current_{nullptr};
+  std::vector<Slot> slots_;
+  std::vector<const ServeSnapshot*> retired_;  // writer-owned
+};
+
+}  // namespace pathsel::serve

@@ -1,0 +1,55 @@
+// Deterministic scripted driver for the serve engine — the service's "wire
+// protocol" without sockets.  A trace file scripts updates, queries, logical
+// time, and flush barriers; the runner executes queries on a pool of reader
+// threads against the lock-free snapshot while the calling thread plays the
+// writer.  Output is byte-deterministic for every reader count, which is how
+// the differential and crash/replay suites compare runs.
+//
+// Trace grammar (one op per line; '#' starts a comment, blank lines skip):
+//
+//   tick MS                                advance the logical clock
+//   update sample A B RTT LOST             submit one probe result
+//   flush                                  apply queued updates, publish
+//   query best METRIC A B                  best-alternate point query
+//   query disjoint METRIC K A B [BUDGET]   k-disjoint query, optional
+//                                          per-query deadline budget in ms
+//
+// METRIC is rtt | loss.  Queries buffer until the next barrier (tick, flush,
+// or end of trace), then run concurrently on the reader pool; responses print
+// to stdout in trace order, so every query batch observes one snapshot and
+// the bytes cannot depend on thread scheduling.  Malformed lines and
+// rejected updates are reported on stderr with their line number and
+// counted — they never stop the trace (graceful degradation), though the
+// CLI's --strict-updates maps a nonzero count to a data-error exit.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace pathsel::serve {
+
+struct TraceOptions {
+  /// Reader threads for query batches; clamped to [1, engine reader slots].
+  int readers = 1;
+};
+
+struct TraceStats {
+  std::size_t lines = 0;    // non-blank, non-comment ops executed
+  std::size_t queries = 0;
+  std::size_t updates = 0;  // accepted updates
+  std::size_t rejected = 0; // malformed lines + rejected updates
+};
+
+/// Runs a trace to completion.  Query responses go to `out`, diagnostics
+/// (rejections, recovery notes are the CLI's job) to `err`.  Fails only on
+/// engine-level faults that poison further progress — journal I/O errors and
+/// cancellation — never on malformed input lines.
+[[nodiscard]] Result<TraceStats> run_trace(ServeEngine& engine,
+                                           std::istream& in, std::ostream& out,
+                                           std::ostream& err,
+                                           const TraceOptions& options = {});
+
+}  // namespace pathsel::serve

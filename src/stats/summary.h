@@ -31,6 +31,30 @@ class Summary {
   /// Variance of the sample mean (variance()/n); requires count() > 1.
   [[nodiscard]] double variance_of_mean() const noexcept;
 
+  /// The raw Welford accumulator state, exposed for bit-exact persistence
+  /// (the serve subsystem's compacted state snapshots).  from_raw(raw())
+  /// reproduces the summary exactly — every future add()/merge() and every
+  /// derived statistic is bit-identical to the original's.
+  struct Raw {
+    std::int64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Raw raw() const noexcept {
+    return Raw{n_, mean_, m2_, min_, max_};
+  }
+  [[nodiscard]] static Summary from_raw(const Raw& raw) noexcept {
+    Summary s;
+    s.n_ = raw.n;
+    s.mean_ = raw.mean;
+    s.m2_ = raw.m2;
+    s.min_ = raw.min;
+    s.max_ = raw.max;
+    return s;
+  }
+
  private:
   std::int64_t n_ = 0;
   double mean_ = 0.0;

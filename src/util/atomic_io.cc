@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstdio>
@@ -42,7 +43,15 @@ void fsync_directory(const std::string& dir) noexcept {
   ::close(fd);
 }
 
+// 0: unlimited.  Nonzero: write_file_atomic fails with ENOSPC once this many
+// bytes have been written (see testing::set_write_file_cap_for_testing).
+std::size_t g_write_cap_bytes = 0;
+
 }  // namespace
+
+void set_write_file_cap_for_testing(std::size_t cap_bytes) noexcept {
+  g_write_cap_bytes = cap_bytes;
+}
 
 std::uint32_t crc32(std::string_view bytes) noexcept {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
@@ -60,8 +69,20 @@ Status write_file_atomic(const std::string& path, std::string_view contents) {
 
   const char* data = contents.data();
   std::size_t left = contents.size();
+  std::size_t written = 0;
   while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
+    if (g_write_cap_bytes != 0 && written >= g_write_cap_bytes) {
+      errno = ENOSPC;  // injected disk-full (see set_write_file_cap_for_testing)
+      const Status s = io_error("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    std::size_t attempt = left;
+    if (g_write_cap_bytes != 0) {
+      attempt = std::min(attempt, g_write_cap_bytes - written);
+    }
+    const ssize_t n = ::write(fd, data, attempt);
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status s = io_error("cannot write", tmp);
@@ -71,6 +92,7 @@ Status write_file_atomic(const std::string& path, std::string_view contents) {
     }
     data += n;
     left -= static_cast<std::size_t>(n);
+    written += static_cast<std::size_t>(n);
   }
   if (::fsync(fd) != 0) {
     const Status s = io_error("cannot fsync", tmp);

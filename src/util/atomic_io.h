@@ -38,4 +38,11 @@ namespace pathsel {
 /// Creates the directory (and parents) if missing; kIoError on failure.
 [[nodiscard]] Status ensure_directory(const std::string& path);
 
+/// Caps the bytes write_file_atomic may write before its write() fails with
+/// ENOSPC — a deterministic stand-in for a full disk, used to test that a
+/// short write surfaces as a clean Status with the destination untouched and
+/// the tmp file removed.  0 (the default) disables the cap.  Test-only; not
+/// thread-safe against concurrent writers.
+void set_write_file_cap_for_testing(std::size_t cap_bytes) noexcept;
+
 }  // namespace pathsel

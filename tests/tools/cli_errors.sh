@@ -28,6 +28,20 @@ expect() {
 
 expect 2 "no arguments" --
 expect 2 "unknown command" -- frobnicate
+
+# --version contract: prints the CLI version plus every stable on-disk /
+# on-wire format version, exits 0, and rejects extra arguments.
+expect 0 "--version" -- --version
+expect 0 "version subcommand" -- version
+expect 2 "version with extra arguments" -- version extra
+"$CLI" --version > "$TMP/version.out" 2>/dev/null
+for needle in "pathsel_cli" "pathsel-dataset v1" "pathsel-checkpoint v1" \
+              "PSRC v1" "PSJL v1" "PSSV v1" "schema_version 1"; do
+  if ! grep -q "$needle" "$TMP/version.out"; then
+    echo "FAIL: --version output missing '$needle'" >&2
+    failures=$((failures + 1))
+  fi
+done
 expect 2 "unknown flag" -- info --bogus x
 expect 2 "missing --in" -- info
 expect 2 "flag without value" -- analyze --in
@@ -252,6 +266,27 @@ for threads in 4 8; do
     failures=$((failures + 1))
   fi
 done
+
+# serve contract: flag validation is a usage error before any I/O; missing
+# inputs are exit 3.  (Crash/replay and determinism live in serve_trace.sh.)
+expect 2 "serve missing --trace" -- serve --in "$TMP/uw3.ds"
+expect 2 "serve readers out of range" -- \
+  serve --in "$TMP/uw3.ds" --trace - --readers 0
+expect 2 "serve non-numeric queue capacity" -- \
+  serve --in "$TMP/uw3.ds" --trace - --queue-cap banana
+expect 2 "serve resume without journal dir" -- \
+  serve --in "$TMP/uw3.ds" --trace - --resume
+expect 3 "serve missing input" -- \
+  serve --in "$TMP/no-such-file" --trace -
+expect 3 "serve unreadable trace file" -- \
+  serve --in "$TMP/uw3.ds" --min-samples 3 --trace "$TMP/no-such-trace"
+expect 4 "serve garbage input" -- serve --in "$TMP/garbage" --trace -
+printf 'query best rtt 0 1\n' > "$TMP/one_query.trace"
+expect 0 "serve minimal trace" -- \
+  serve --in "$TMP/uw3.ds" --min-samples 3 --trace "$TMP/one_query.trace"
+expect 5 "serve with expired deadline" -- \
+  serve --in "$TMP/uw3.ds" --min-samples 3 --trace "$TMP/one_query.trace" \
+  --deadline 0
 
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a

@@ -56,6 +56,23 @@
 //       dataset (atomic, deterministic) and folds K into the checkpoint
 //       fingerprint, so resuming under a different K discards the stale
 //       checkpoint instead of splicing runs.
+//   pathsel_cli serve --in FILE --trace FILE|- [--readers N] [--queue-cap N]
+//                     [--stale-after-ms MS] [--journal-dir DIR] [--resume]
+//                     [--compact-every N] [--min-samples N] [--threads N]
+//                     [--deadline SEC] [--strict-updates]
+//       Run the fault-tolerant online path-selection service (src/serve)
+//       against a scripted request/update trace (serve/trace.h grammar; "-"
+//       reads stdin).  Query responses print to stdout, byte-identical for
+//       every --readers count; diagnostics (rejected updates, journal
+//       recovery notes, the closing summary) go to stderr.  --journal-dir
+//       enables the crash-safe update journal; --resume replays it (plus the
+//       newest compacted state snapshot) so a killed server reconverges to
+//       its exact pre-crash state.  Malformed or out-of-range updates are
+//       rejected with a reason and never poison the served snapshot; with
+//       --strict-updates any rejection turns into a data-error exit (1).
+//   pathsel_cli version | --version
+//       Print the tool version and every stable on-disk/JSON format version
+//       (dataset, checkpoint, results, journal, serve state, bench JSON).
 //
 // Long-running commands (campaign, analyze) honour --deadline SEC and
 // SIGINT/SIGTERM: the run drains cooperatively at the next chunk/event
@@ -98,6 +115,9 @@
 #include "meas/campaign.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
+#include "serve/engine.h"
+#include "serve/journal.h"
+#include "serve/trace.h"
 #include "util/atomic_io.h"
 #include "util/bench_report.h"
 #include "util/cancel.h"
@@ -157,6 +177,13 @@ int usage() {
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
                "                       [--resume] [--checkpoint-every-hours H]\n"
                "                       [--deadline SEC] [--disjoint K]\n"
+               "  pathsel_cli serve --in FILE --trace FILE|- [--readers N]\n"
+               "                    [--queue-cap N] [--stale-after-ms MS]\n"
+               "                    [--journal-dir DIR] [--resume]\n"
+               "                    [--compact-every N] [--min-samples N]\n"
+               "                    [--threads N] [--deadline SEC]\n"
+               "                    [--strict-updates]\n"
+               "  pathsel_cli version | --version\n"
                "datasets: D2 D2-NA N2 N2-NA UW1 UW3 UW4-A UW4-B\n"
                "--threads defaults to the hardware thread count\n"
                "--metrics[=table|json] dumps run metrics to stderr on exit\n"
@@ -913,6 +940,126 @@ int cmd_analyze(const FlagMap& flags) {
       flags.contains("csv"));
 }
 
+int cmd_serve(const FlagMap& flags) {
+  // Validate every flag before touching any file, so usage errors are cheap
+  // and never leave a half-initialized journal directory behind.
+  const auto trace_flag = flags.find("trace");
+  if (trace_flag == flags.end()) {
+    std::fprintf(stderr, "serve needs --trace FILE (or - for stdin)\n");
+    return kExitUsage;
+  }
+  std::int64_t readers = 1;
+  std::int64_t queue_cap = 1024;
+  std::int64_t stale_after_ms = 5000;
+  std::int64_t compact_every = 1024;
+  std::int64_t min_samples = 30;
+  std::int64_t threads = 0;
+  if (!flag_i64(flags, "readers", 1, 256, readers) ||
+      !flag_i64(flags, "queue-cap", 1, 1'000'000'000, queue_cap) ||
+      !flag_i64(flags, "stale-after-ms", 0, std::int64_t{1} << 60,
+                stale_after_ms) ||
+      !flag_i64(flags, "compact-every", 0, 1'000'000'000, compact_every) ||
+      !flag_i64(flags, "min-samples", 1, 1'000'000'000, min_samples) ||
+      !flag_i64(flags, "threads", 1, 4096, threads)) {
+    return kExitUsage;
+  }
+  if (flags.contains("resume") && !flags.contains("journal-dir")) {
+    std::fprintf(stderr, "--resume needs --journal-dir\n");
+    return kExitUsage;
+  }
+  if (!arm_deadline(flags)) return kExitUsage;
+
+  meas::Dataset ds;
+  if (const int rc = load(flags, ds); rc != kExitOk) return rc;
+
+  serve::ServeOptions options;
+  options.build.min_samples = static_cast<int>(min_samples);
+  options.build.cancel = &g_cancel;
+  options.threads = static_cast<int>(threads);
+  options.queue_capacity = static_cast<std::size_t>(queue_cap);
+  options.stale_after_ms = stale_after_ms;
+  if (const auto dir = flags.find("journal-dir"); dir != flags.end()) {
+    options.journal_dir = dir->second;
+  }
+  options.resume = flags.contains("resume");
+  options.compact_every = static_cast<std::uint64_t>(compact_every);
+  options.cancel = &g_cancel;
+  options.max_reader_slots = static_cast<std::size_t>(readers);
+
+  // PATHSEL_TEST_CRASH_AFTER=N hard-kills the server (SIGKILL, no cleanup)
+  // right after the N-th journal append — after the record is durable but
+  // before it mutates anything.  The kill-and-resume tests use it to place
+  // a machine crash at the worst reproducible instant.
+  if (const char* crash_env = std::getenv("PATHSEL_TEST_CRASH_AFTER")) {
+    const long crash_after = std::strtol(crash_env, nullptr, 10);
+    if (crash_after > 0) {
+      options.crash_after_appends = static_cast<std::size_t>(crash_after);
+    }
+  }
+
+  auto engine = serve::ServeEngine::create(ds, options);
+  if (!engine.is_ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+    return exit_code_for(engine.status());
+  }
+  for (const std::string& note : engine.value()->recovery_log()) {
+    std::fprintf(stderr, "serve: %s\n", note.c_str());
+  }
+
+  std::ifstream trace_file;
+  std::istream* trace_in = &std::cin;
+  if (trace_flag->second != "-") {
+    trace_file.open(trace_flag->second);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_flag->second.c_str());
+      return kExitUnreadable;
+    }
+    trace_in = &trace_file;
+  }
+
+  serve::TraceOptions trace_options;
+  trace_options.readers = static_cast<int>(readers);
+  const Result<serve::TraceStats> stats = serve::run_trace(
+      *engine.value(), *trace_in, std::cout, std::cerr, trace_options);
+  if (!stats.is_ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().to_string().c_str());
+    return exit_code_for(stats.status());
+  }
+  const serve::ServeCounters counters = engine.value()->counters();
+  std::fprintf(stderr,
+               "serve: %zu ops, %zu queries, %zu updates accepted, "
+               "%zu rejected, %llu applied, %llu shed, %llu snapshots\n",
+               stats.value().lines, stats.value().queries,
+               stats.value().updates, stats.value().rejected,
+               static_cast<unsigned long long>(counters.updates_applied),
+               static_cast<unsigned long long>(counters.updates_shed),
+               static_cast<unsigned long long>(counters.snapshots_published));
+  if (flags.contains("strict-updates") && stats.value().rejected > 0) {
+    std::fprintf(stderr, "serve: --strict-updates and %zu rejections\n",
+                 stats.value().rejected);
+    return kExitDataError;
+  }
+  return kExitOk;
+}
+
+#ifndef PATHSEL_VERSION
+#define PATHSEL_VERSION "unknown"
+#endif
+
+// The version report names every stable format a release promises to keep
+// readable, so operators can check compatibility without consulting docs.
+int print_version() {
+  std::printf("pathsel_cli %s\n", PATHSEL_VERSION);
+  std::printf("formats:\n");
+  std::printf("  dataset      pathsel-dataset v1\n");
+  std::printf("  checkpoint   pathsel-checkpoint v1\n");
+  std::printf("  results      PSRC v%u\n", core::kResultColumnsVersion);
+  std::printf("  journal      PSJL v%u\n", serve::kJournalVersion);
+  std::printf("  serve-state  PSSV v%u\n", serve::kServeStateVersion);
+  std::printf("  bench-json   schema_version 1\n");
+  return kExitOk;
+}
+
 // Dumps the registry snapshot to stderr in the requested format.  stderr
 // keeps stdout byte-identical to a metrics-off run (metrics are passive).
 void dump_metrics(const std::string& format) {
@@ -967,6 +1114,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   FlagMap flags;
+  if (command == "version" || command == "--version") {
+    if (argc != 2) {
+      std::fprintf(stderr, "version takes no arguments\n");
+      return kExitUsage;
+    }
+    return print_version();
+  }
   if (command == "generate") {
     if (!parse_flags(argc, argv, 2,
                      {"dataset", "scale", "seed", "out", "faults", "fault-seed"},
@@ -1011,6 +1165,16 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     return run_interruptible(cmd_campaign);
+  }
+  if (command == "serve") {
+    if (!parse_flags(argc, argv, 2,
+                     {"in", "trace", "readers", "queue-cap", "stale-after-ms",
+                      "journal-dir", "compact-every", "min-samples", "threads",
+                      "deadline"},
+                     {"resume", "strict-updates"}, {"metrics"}, flags)) {
+      return kExitUsage;
+    }
+    return run_interruptible(cmd_serve);
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return usage();
