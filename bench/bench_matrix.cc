@@ -1,0 +1,148 @@
+// Scenario-matrix engine throughput: how fast does the what-if grid run
+// sequentially, how much does the forked fan-out buy, and what does a pure
+// merge (every cell reused) cost?
+//
+// A 4-cell grid (2 fault levels x {one-hop, disjoint:2}) over UW3 runs
+// three ways: inline (workers = 0, every cell in-process — this is the run
+// whose matrix.* phase timings and counters the perf gate pins), under two
+// forked workers (wall-clock only: the children's counters die with them),
+// and as a --resume over the finished work dir, which skips every cell and
+// times the summary-validation + merge path alone.  The fan-out and resume
+// reports must be byte-identical to the sequential one — a mismatch is a
+// determinism bug and fails the bench before any timing is reported.
+#include "bench_util.h"
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "matrix/engine.h"
+#include "matrix/grid.h"
+
+namespace pathsel {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+matrix::GridConfig bench_grid() {
+  matrix::GridConfig g;
+  g.name = "bench";
+  // Rides PATHSEL_BENCH_SCALE like every other bench: 0.05 at the CI
+  // scale of 0.2, a still-tractable 0.25 at full scale.
+  g.scale = 0.25 * bench::bench_scale();
+  g.datasets = {"UW3"};
+  g.faults = {0.0, 0.15};
+  g.metrics = {core::Metric::kRtt};
+  g.policies = {matrix::PolicySpec{},
+                matrix::PolicySpec{matrix::PolicyKind::kDisjoint,
+                                   core::Kernel::kAuto, 2}};
+  g.samples = {0};
+  g.seeds = {1999};
+  return g;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("pathsel_bench_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void run() {
+  bench::print_experiment_header(
+      "Matrix engine", "4-cell what-if grid over UW3, three execution modes",
+      "the merged report is byte-identical whether cells run inline, under "
+      "forked workers, or as a pure merge over reused summaries; fan-out "
+      "buys wall-clock without touching a single output byte");
+
+  const matrix::GridConfig grid = bench_grid();
+
+  // --- Inline: every cell in this process.  The matrix.* phases and
+  // counters recorded here are what the perf gate compares.
+  matrix::MatrixOptions seq;
+  seq.grid = grid;
+  seq.work_dir = fresh_dir("matrix_seq");
+  seq.workers = 0;
+  seq.threads = 1;
+  const auto seq_start = Clock::now();
+  const matrix::MatrixReport sequential = matrix::run_matrix(seq);
+  const double seq_ms = ms_since(seq_start);
+  if (!sequential.status.is_ok()) {
+    bench::notef("sequential run failed: %s\n",
+                 sequential.status.to_string().c_str());
+    return;
+  }
+
+  // --- Fan-out: two forked workers over a fresh work dir.  Counters and
+  // phases accrue in the children and die with them; the parent-side wall
+  // clock is the number, and byte-identity is the invariant.
+  matrix::MatrixOptions fan = seq;
+  fan.work_dir = fresh_dir("matrix_fan");
+  fan.workers = 2;
+  const auto fan_start = Clock::now();
+  const matrix::MatrixReport fanned = matrix::run_matrix(fan);
+  const double fan_ms = ms_since(fan_start);
+  if (!fanned.status.is_ok()) {
+    bench::notef("fan-out run failed: %s\n",
+                 fanned.status.to_string().c_str());
+    return;
+  }
+  if (fanned.report != sequential.report) {
+    bench::notef("DETERMINISM BUG: 2-worker report differs from inline\n");
+    return;
+  }
+
+  // --- Pure merge: --resume over the finished sequential dir reuses all
+  // cells, so this times summary validation + artifact checks + render.
+  matrix::MatrixOptions merge = seq;
+  merge.resume = true;
+  const auto merge_start = Clock::now();
+  const matrix::MatrixReport merged = matrix::run_matrix(merge);
+  const double merge_ms = ms_since(merge_start);
+  if (!merged.status.is_ok() ||
+      merged.cells_reused != merged.cells_total) {
+    bench::notef("merge-only resume failed or re-ran cells\n");
+    return;
+  }
+  if (merged.report != sequential.report) {
+    bench::notef("DETERMINISM BUG: merge-only report differs from inline\n");
+    return;
+  }
+
+  const auto cells = static_cast<double>(sequential.cells_total);
+  Table modes{"matrix execution modes (4 cells, UW3)"};
+  modes.set_header({"mode", "cells run", "wall ms", "cells/sec"});
+  modes.add_row({"inline (workers 0)", std::to_string(sequential.cells_run),
+                 Table::fmt(seq_ms, 1),
+                 Table::fmt(1e3 * cells / (seq_ms > 0.0 ? seq_ms : 1.0), 1)});
+  modes.add_row({"fan-out (workers 2)", std::to_string(fanned.cells_run),
+                 Table::fmt(fan_ms, 1),
+                 Table::fmt(1e3 * cells / (fan_ms > 0.0 ? fan_ms : 1.0), 1)});
+  modes.add_row({"merge only (resume)", "0", Table::fmt(merge_ms, 1), "-"});
+  bench::emit(modes);
+
+  bench::notef("fan-out speedup: %.2fx over inline; merge-only replay is "
+               "%.1f%% of a full run\n",
+               fan_ms > 0.0 ? seq_ms / fan_ms : 0.0,
+               seq_ms > 0.0 ? 100.0 * merge_ms / seq_ms : 0.0);
+  bench::notef("report: %zu bytes, identical across all three modes\n",
+               sequential.report.size());
+
+  std::filesystem::remove_all(seq.work_dir);
+  std::filesystem::remove_all(fan.work_dir);
+}
+
+}  // namespace
+}  // namespace pathsel
+
+int main(int argc, char** argv) {
+  if (!pathsel::bench::init(argc, argv, "matrix")) return 2;
+  pathsel::run();
+  return pathsel::bench::finish();
+}

@@ -1,0 +1,84 @@
+#include "matrix/queue.h"
+
+#include <cstdio>
+
+namespace pathsel::matrix {
+
+namespace {
+
+std::string cell_file_stem(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "cell-%05zu", index);
+  return buf;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string queue_dir(const std::string& work_dir) {
+  return work_dir + "/queue";
+}
+
+std::string cells_dir(const std::string& work_dir) {
+  return work_dir + "/cells";
+}
+
+std::string datasets_dir(const std::string& work_dir) {
+  return work_dir + "/datasets";
+}
+
+std::string report_path(const std::string& work_dir) {
+  return work_dir + "/report.txt";
+}
+
+std::string grid_file_path(const std::string& work_dir) {
+  return work_dir + "/grid.canonical";
+}
+
+std::string cell_lock_path(const std::string& work_dir, std::size_t index) {
+  return queue_dir(work_dir) + "/" + cell_file_stem(index) + ".lock";
+}
+
+std::string cell_summary_path(const std::string& work_dir, std::size_t index) {
+  return queue_dir(work_dir) + "/" + cell_file_stem(index) + ".summary";
+}
+
+std::string cell_work_dir(const std::string& work_dir, std::size_t index,
+                          std::uint64_t cell_fp) {
+  return cells_dir(work_dir) + "/" + cell_file_stem(index) + "-" +
+         hex16(cell_fp);
+}
+
+Result<FileLock> try_claim_cell(const std::string& work_dir,
+                                std::size_t index) {
+  return FileLock::try_acquire(cell_lock_path(work_dir, index));
+}
+
+Result<CellSummary> load_valid_summary(const std::string& work_dir,
+                                       std::size_t index,
+                                       std::uint64_t grid_fp,
+                                       std::uint64_t cell_fp) {
+  const std::string path = cell_summary_path(work_dir, index);
+  const Result<std::string> text = read_file(path);
+  if (!text.is_ok()) return text.status();
+  Result<CellSummary> parsed = parse_cell_summary(text.value());
+  if (!parsed.is_ok()) {
+    return Status::error(ErrorCode::kParseError,
+                         path + ": " + parsed.status().message());
+  }
+  const CellSummary& s = parsed.value();
+  if (s.grid_fp != grid_fp || s.cell_fp != cell_fp || s.index != index) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         path + ": summary belongs to a different grid or "
+                                "cell (stale state from an edited grid)");
+  }
+  return parsed;
+}
+
+}  // namespace pathsel::matrix

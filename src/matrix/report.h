@@ -1,0 +1,27 @@
+// Deterministic merge of cell summaries into one matrix report.
+//
+// The renderer consumes only CellSummary values (never re-reads artifacts),
+// sorts them by cell index, and emits: a header binding the report to the
+// grid fingerprint, the per-cell table, one marginal table per axis that has
+// more than one value (mean of the "better" fraction and mean pairs over the
+// axis value's ok cells, summed in index order so the floating-point result
+// is reproducible), and the best/worst-cell extremes.  Every number goes
+// through Table::fmt/Table::pct, so equal summaries render to equal bytes —
+// the property the differential and golden tests pin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/cell.h"
+#include "matrix/grid.h"
+
+namespace pathsel::matrix {
+
+/// Renders the merged report.  `summaries` must hold one entry per cell of
+/// `grid` (any order); the caller guarantees completeness.
+[[nodiscard]] std::string render_matrix_report(
+    const GridConfig& grid, std::uint64_t grid_fp,
+    std::vector<CellSummary> summaries);
+
+}  // namespace pathsel::matrix

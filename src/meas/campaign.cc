@@ -139,7 +139,9 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     // resuming a --disjoint 3 campaign from a --disjoint 2 (or plain)
     // checkpoint must be rejected as stale, not spliced.
     const std::uint64_t fingerprint = fold_fingerprint(
-        mat.fingerprint, static_cast<std::uint64_t>(options.disjoint_k));
+        fold_fingerprint(mat.fingerprint,
+                         static_cast<std::uint64_t>(options.disjoint_k)),
+        options.extra_fingerprint);
     CollectControls controls;
     controls.cancel = options.cancel;
     std::optional<CampaignCheckpoint> resume_from;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -54,6 +55,12 @@ struct CampaignOptions {
   /// fingerprint binds to it and a resume under a different k is rejected as
   /// stale rather than spliced into the new analysis.
   int disjoint_k = 0;
+  /// Caller-level identity folded into the checkpoint fingerprint after
+  /// disjoint_k (meas::fold_fingerprint discipline: always folded, including
+  /// the 0 "off" encoding).  The scenario-matrix engine binds each cell's
+  /// grid fingerprint here, so a worker checkpoint resumed under an edited
+  /// grid is discarded as stale instead of silently merged.
+  std::uint64_t extra_fingerprint = 0;
   /// Test hook, called after every successful checkpoint write with the
   /// total number of writes so far (kill-and-resume tests crash here).
   std::function<void(std::size_t)> after_checkpoint;

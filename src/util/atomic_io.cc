@@ -1,6 +1,7 @@
 #include "util/atomic_io.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -133,6 +134,45 @@ Status ensure_directory(const std::string& path) {
                          "cannot create directory " + path + ": " + ec.message());
   }
   return Status::ok();
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_{other.fd_} {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+Result<FileLock> FileLock::try_acquire(const std::string& path) {
+  // O_CLOEXEC keeps the descriptor (and hence the lock) from leaking into
+  // exec'd children; fork'd children of the holder share it by design.
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot open lock file", path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK || err == EINTR) return FileLock{};  // busy
+    errno = err;
+    return io_error("cannot lock", path);
+  }
+  FileLock lock;
+  lock.fd_ = fd;
+  return lock;
+}
+
+void FileLock::release() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the last descriptor drops the flock
+    fd_ = -1;
+  }
 }
 
 }  // namespace pathsel

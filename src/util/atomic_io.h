@@ -45,4 +45,37 @@ namespace pathsel {
 /// thread-safe against concurrent writers.
 void set_write_file_cap_for_testing(std::size_t cap_bytes) noexcept;
 
+/// An advisory exclusive lock on a file, for cross-process work claiming
+/// (the scenario-matrix work queue).  Built on flock(LOCK_EX): the kernel
+/// releases the lock when the holding process dies — including by SIGKILL —
+/// so a crashed worker's claim evaporates and another process can reclaim
+/// the work without any lease bookkeeping.  The lock file itself is an empty
+/// marker created on first acquire and deliberately never deleted (deleting
+/// it would race a concurrent acquire on the old inode).
+///
+/// flock locks belong to the open file description: the lock is shared with
+/// a child across fork().  Acquire locks after forking, not before.
+class FileLock {
+ public:
+  FileLock() = default;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock();
+
+  /// Tries to take the exclusive lock without blocking.  Returns a held()
+  /// lock on success, a non-held() lock when another process holds it, and
+  /// kIoError when the lock file cannot be created or opened.
+  [[nodiscard]] static Result<FileLock> try_acquire(const std::string& path);
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// Drops the lock (closing the descriptor releases it); idempotent.
+  void release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace pathsel

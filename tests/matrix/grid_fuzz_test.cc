@@ -1,0 +1,247 @@
+// Fuzz/property tests for the scenario-grid parser.
+//
+// The parser's contract mirrors the binary results reader's: NO input —
+// malformed key, empty axis, duplicate cell, absurd cross product,
+// truncated file, random garbage — may crash it or trip UB; every rejection
+// is a clean kInvalidArgument whose message names the offending line.  On
+// top of the rejection catalogue this suite pins the identities the engine
+// builds on: canonical round-trip stability, fingerprint sensitivity to
+// every axis, and the fixed cell-expansion order.
+#include "matrix/grid.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pathsel::matrix {
+namespace {
+
+constexpr char kFullGrid[] =
+    "# exercise every section\n"
+    "name = full\n"
+    "scale = 0.25\n"
+    "[datasets]\n"
+    "values = UW3, D2\n"
+    "[faults]\n"
+    "values = 0, 0.15\n"
+    "[metrics]\n"
+    "values = rtt, loss\n"
+    "[policies]\n"
+    "values = one-hop, one-hop/dense, multi-hop, disjoint:2\n"
+    "[samples]\n"
+    "values = 0, 5\n"
+    "[seeds]\n"
+    "values = 1999, 7\n";
+
+void expect_rejected(const std::string& text, const char* why) {
+  const Result<GridConfig> parsed = parse_grid(text);
+  ASSERT_FALSE(parsed.is_ok()) << why << "\n--- input ---\n" << text;
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument) << why;
+  EXPECT_FALSE(parsed.status().message().empty()) << why;
+}
+
+TEST(GridParse, EmptyFileIsTheDefaultGrid) {
+  const Result<GridConfig> parsed = parse_grid("");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const GridConfig& g = parsed.value();
+  EXPECT_EQ(g.name, "matrix");
+  EXPECT_EQ(g.cell_count(), 1u);
+  EXPECT_EQ(g.datasets, std::vector<std::string>{"UW3"});
+}
+
+TEST(GridParse, FullGridParsesAndCounts) {
+  const Result<GridConfig> parsed = parse_grid(kFullGrid);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().cell_count(), 2u * 2 * 2 * 4 * 2 * 2);
+  EXPECT_EQ(parsed.value().policies[1].kernel, core::Kernel::kDense);
+  EXPECT_EQ(parsed.value().policies[3].k, 2);
+}
+
+TEST(GridParse, CanonicalRoundTripIsAFixedPoint) {
+  const Result<GridConfig> parsed = parse_grid(kFullGrid);
+  ASSERT_TRUE(parsed.is_ok());
+  const std::string canon = canonical_grid(parsed.value());
+  const Result<GridConfig> reparsed = parse_grid(canon);
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string()
+                                << "\n--- canonical ---\n" << canon;
+  EXPECT_EQ(canonical_grid(reparsed.value()), canon);
+  EXPECT_EQ(grid_fingerprint(reparsed.value()),
+            grid_fingerprint(parsed.value()));
+}
+
+TEST(GridParse, CommentsAndWhitespaceAreInert) {
+  const Result<GridConfig> a = parse_grid(kFullGrid);
+  std::string spaced;
+  for (const char* p = kFullGrid; *p != '\0'; ++p) {
+    spaced += *p;
+    if (*p == '\n') spaced += "   # interleaved comment\n\n";
+  }
+  const Result<GridConfig> b = parse_grid(spaced);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  EXPECT_EQ(canonical_grid(a.value()), canonical_grid(b.value()));
+}
+
+TEST(GridParse, RejectionCatalogue) {
+  expect_rejected("bogus = 1\n", "unknown top-level key");
+  expect_rejected("name = a\nname = b\n", "duplicate top-level key");
+  expect_rejected("name =\n", "empty name");
+  expect_rejected("name = spaced out\n", "name with spaces");
+  expect_rejected("scale = 0\n", "scale below range");
+  expect_rejected("scale = 1.5\n", "scale above range");
+  expect_rejected("scale = abc\n", "non-numeric scale");
+  expect_rejected("[bogus]\nvalues = 1\n", "unknown section");
+  expect_rejected("[datasets\nvalues = UW3\n", "malformed section header");
+  expect_rejected("[datasets]\nvalues = UW3\n[datasets]\nvalues = D2\n",
+                  "duplicate section");
+  expect_rejected("[datasets]\n", "section without values (truncated file)");
+  expect_rejected("[datasets]\nvalues = UW3\n[faults]\n",
+                  "trailing section without values");
+  expect_rejected("[datasets]\nvalues =\n", "empty axis list");
+  expect_rejected("[datasets]\nvalues = UW3,,D2\n", "empty axis item");
+  expect_rejected("[datasets]\nvalues = NOPE\n", "unknown dataset");
+  expect_rejected("[datasets]\nvalues = UW3, UW3\n", "duplicate cells");
+  expect_rejected("[datasets]\nname = UW3\n", "non-values key in section");
+  expect_rejected("values = UW3\n", "values outside any section");
+  expect_rejected("[faults]\nvalues = -0.1\n", "fault below range");
+  expect_rejected("[faults]\nvalues = 1.1\n", "fault above range");
+  expect_rejected("[faults]\nvalues = 0.15, 0.15\n", "duplicate faults");
+  expect_rejected("[metrics]\nvalues = bandwidth\n", "unsupported metric");
+  expect_rejected("[policies]\nvalues = two-hop\n", "unknown policy");
+  expect_rejected("[policies]\nvalues = disjoint:0\n", "disjoint k below 1");
+  expect_rejected("[policies]\nvalues = disjoint:65\n", "disjoint k above 64");
+  expect_rejected("[policies]\nvalues = disjoint:x\n", "non-numeric k");
+  expect_rejected("[policies]\nvalues = one-hop/avx2\n", "unknown kernel");
+  expect_rejected("[samples]\nvalues = -1\n", "negative min_samples");
+  expect_rejected("[samples]\nvalues = 1000001\n", "absurd min_samples");
+  expect_rejected("[seeds]\nvalues = -1\n", "negative seed");
+  expect_rejected("[seeds]\nvalues = 99999999999999999999\n",
+                  "seed overflow");
+}
+
+TEST(GridParse, AbsurdCrossProductIsRejectedUpFront) {
+  // 9 faults x 8 datasets x 2 metrics x 4 policies x 2 samples x 5 seeds =
+  // 11520 cells > kMaxGridCells.
+  std::string text =
+      "[datasets]\nvalues = D2, D2-NA, N2, N2-NA, UW1, UW3, UW4-A, UW4-B\n"
+      "[metrics]\nvalues = rtt, loss\n"
+      "[policies]\nvalues = one-hop, multi-hop, disjoint:2, disjoint:3\n"
+      "[samples]\nvalues = 0, 5\n"
+      "[seeds]\nvalues = 1, 2, 3, 4, 5\n"
+      "[faults]\nvalues = 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8\n";
+  expect_rejected(text, "cross product beyond kMaxGridCells");
+}
+
+TEST(GridParse, EveryTruncationIsCleanlyHandled) {
+  const std::string full{kFullGrid};
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::string cut = full.substr(0, len);
+    const Result<GridConfig> parsed = parse_grid(cut);
+    // A prefix that happens to end on a complete, valid line may parse; the
+    // contract is only "no crash, and failures are kInvalidArgument".
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument)
+          << "truncation at " << len;
+    }
+  }
+}
+
+TEST(GridParse, RandomGarbageNeverCrashes) {
+  Rng rng{20260808};
+  for (int round = 0; round < 200; ++round) {
+    std::string junk;
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, 399));
+    for (std::size_t i = 0; i < len; ++i) {
+      junk += static_cast<char>(rng.uniform_int(0, 255));
+    }
+    const Result<GridConfig> parsed = parse_grid(junk);
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(GridParse, MutatedRealGridNeverCrashes) {
+  const std::string full{kFullGrid};
+  Rng rng{42};
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = full;
+    const int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.index(mutated.size());
+      mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    const Result<GridConfig> parsed = parse_grid(mutated);
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(GridIdentity, FingerprintSeesEveryAxis) {
+  const GridConfig base = parse_grid(kFullGrid).value();
+  const std::uint64_t fp = grid_fingerprint(base);
+
+  GridConfig g = base;
+  g.name = "other";
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.scale = 0.5;
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.datasets.pop_back();
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.faults[1] = 0.2;
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.metrics.pop_back();
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.policies[3].k = 3;
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.samples[1] = 6;
+  EXPECT_NE(grid_fingerprint(g), fp);
+  g = base;
+  g.seeds[1] = 8;
+  EXPECT_NE(grid_fingerprint(g), fp);
+}
+
+TEST(GridIdentity, CellExpansionOrderAndFingerprintsAreStable) {
+  const GridConfig g = parse_grid(kFullGrid).value();
+  const std::vector<CellSpec> cells = expand_cells(g);
+  ASSERT_EQ(cells.size(), g.cell_count());
+  // Seeds are the innermost axis; datasets the outermost.
+  EXPECT_EQ(cells[0].seed, 1999u);
+  EXPECT_EQ(cells[1].seed, 7u);
+  EXPECT_EQ(cells[0].dataset, "UW3");
+  EXPECT_EQ(cells[cells.size() - 1].dataset, "D2");
+  const std::uint64_t fp = grid_fingerprint(g);
+  std::vector<std::uint64_t> seen;
+  for (const CellSpec& cell : cells) {
+    EXPECT_EQ(cell.index, seen.size());
+    const std::uint64_t cfp = cell_fingerprint(fp, cell);
+    for (const std::uint64_t prior : seen) EXPECT_NE(prior, cfp);
+    seen.push_back(cfp);
+  }
+}
+
+TEST(GridIdentity, EffectiveMinSamplesIsScaleDerivedAtZero) {
+  GridConfig g;
+  g.scale = 0.25;
+  CellSpec cell;
+  cell.min_samples = 0;
+  EXPECT_EQ(effective_min_samples(g, cell), 8);  // round(30 * 0.25)
+  cell.min_samples = 5;
+  EXPECT_EQ(effective_min_samples(g, cell), 5);
+  g.scale = 0.01;
+  cell.min_samples = 0;
+  EXPECT_EQ(effective_min_samples(g, cell), 3);  // floor of 3
+}
+
+}  // namespace
+}  // namespace pathsel::matrix

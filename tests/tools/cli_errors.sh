@@ -36,7 +36,8 @@ expect 0 "version subcommand" -- version
 expect 2 "version with extra arguments" -- version extra
 "$CLI" --version > "$TMP/version.out" 2>/dev/null
 for needle in "pathsel_cli" "pathsel-dataset v1" "pathsel-checkpoint v1" \
-              "PSRC v1" "PSJL v1" "PSSV v1" "schema_version 1"; do
+              "PSRC v1" "PSJL v1" "PSSV v1" "pathsel-grid v1" \
+              "pathsel-matrix-cell v1" "schema_version 1"; do
   if ! grep -q "$needle" "$TMP/version.out"; then
     echo "FAIL: --version output missing '$needle'" >&2
     failures=$((failures + 1))
@@ -287,6 +288,61 @@ expect 0 "serve minimal trace" -- \
 expect 5 "serve with expired deadline" -- \
   serve --in "$TMP/uw3.ds" --min-samples 3 --trace "$TMP/one_query.trace" \
   --deadline 0
+
+# matrix contract: flag and grid validation are usage errors (exit 2)
+# raised before the work dir is created — a malformed grid must reject with
+# a diagnostic naming the grid file and leave no droppings on disk.  An
+# unreadable grid file is exit 3 (the flags were fine, the file was not).
+expect 2 "matrix missing --grid" -- matrix --work-dir "$TMP/mx"
+expect 2 "matrix missing --work-dir" -- matrix --grid "$TMP/no-grid"
+expect 2 "matrix flag without value" -- \
+  matrix --grid "$TMP/no-grid" --work-dir
+expect 2 "matrix non-numeric workers" -- \
+  matrix --grid "$TMP/no-grid" --work-dir "$TMP/mx" --workers banana
+expect 2 "matrix negative workers" -- \
+  matrix --grid "$TMP/no-grid" --work-dir "$TMP/mx" --workers -1
+expect 2 "matrix workers beyond the cap" -- \
+  matrix --grid "$TMP/no-grid" --work-dir "$TMP/mx" --workers 257
+expect 2 "matrix threads out of range" -- \
+  matrix --grid "$TMP/no-grid" --work-dir "$TMP/mx" --threads 0
+expect 3 "matrix unreadable grid" -- \
+  matrix --grid "$TMP/no-grid" --work-dir "$TMP/mx"
+if [[ -e "$TMP/mx" ]]; then
+  echo "FAIL: matrix created its work dir despite an unreadable grid" >&2
+  failures=$((failures + 1))
+fi
+
+for bad in "scale = banana" "unknownkey = 1" "[faults]
+values = 2" "[policies]
+values = disjoint:0" "[seeds]
+values = 1, 1"; do
+  printf '%s\n' "$bad" > "$TMP/bad_grid.txt"
+  expect 2 "matrix malformed grid ($bad)" -- \
+    matrix --grid "$TMP/bad_grid.txt" --work-dir "$TMP/mx"
+  if [[ -e "$TMP/mx" ]]; then
+    echo "FAIL: malformed grid reached the work dir ($bad)" >&2
+    failures=$((failures + 1))
+  fi
+done
+# The diagnostic names the offending grid file.
+"$CLI" matrix --grid "$TMP/bad_grid.txt" --work-dir "$TMP/mx" \
+  2> "$TMP/mx.err" > /dev/null
+if ! grep -q "bad_grid.txt" "$TMP/mx.err"; then
+  echo "FAIL: matrix grid diagnostic does not name the grid file" >&2
+  failures=$((failures + 1))
+fi
+
+printf 'name = smoke\nscale = 0.01\n' > "$TMP/smoke_grid.txt"
+expect 0 "matrix single-cell smoke run" -- \
+  matrix --grid "$TMP/smoke_grid.txt" --work-dir "$TMP/mx" --workers 0
+if [[ ! -f "$TMP/mx/report.txt" ]]; then
+  echo "FAIL: matrix smoke run did not write report.txt" >&2
+  failures=$((failures + 1))
+fi
+expect 2 "matrix resume across an edited grid scale" -- \
+  matrix --grid "$TMP/bad_grid.txt" --work-dir "$TMP/mx" --resume
+expect 5 "matrix with expired deadline" -- \
+  matrix --grid "$TMP/smoke_grid.txt" --work-dir "$TMP/mx2" --deadline 0
 
 # --metrics contract: bad format is a usage error; valid formats succeed and
 # the dump goes to stderr only, leaving stdout byte-identical to a

@@ -15,8 +15,9 @@
 #   PATHSEL_UPDATE_GOLDEN=1 ctest -R tools_cli_golden
 set -u
 
-GOLDEN_DIR="${1:?usage: golden_cli.sh <golden-dir> <path-to-pathsel_cli>}"
-CLI="${2:?usage: golden_cli.sh <golden-dir> <path-to-pathsel_cli>}"
+GOLDEN_ROOT="${1:?usage: golden_cli.sh <golden-root> <path-to-pathsel_cli>}"
+GOLDEN_DIR="$GOLDEN_ROOT/cli"
+CLI="${2:?usage: golden_cli.sh <golden-root> <path-to-pathsel_cli>}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -30,6 +31,7 @@ check() {
   local name="$1" actual="$2"
   local golden="$GOLDEN_DIR/$name.golden"
   if [[ "${PATHSEL_UPDATE_GOLDEN:-0}" != 0 ]]; then
+    mkdir -p "$GOLDEN_DIR"
     cp "$actual" "$golden"
     echo "updated $golden"
     return
@@ -108,6 +110,51 @@ check analyze_rtt_csv "$TMP/split_rtt_csv.out"
 if ! cmp -s "$TMP/cols.psrc" "$TMP/cols2.psrc"; then
   echo "FAIL: --results-out is not deterministic between runs" >&2
   failures=$((failures + 1))
+fi
+
+# --- Matrix goldens: a 2x2x2 grid (fault x metric x policy) merged with ---
+# --- the sequential engine.  The golden pins the full report surface:    ---
+# --- per-cell table, per-axis marginals, and the extremes block.         ---
+GOLDEN_DIR="$GOLDEN_ROOT/matrix"
+
+cat > "$TMP/grid.txt" <<'EOF_GRID'
+name = golden
+scale = 0.05
+[faults]
+values = 0, 0.15
+[metrics]
+values = rtt, loss
+[policies]
+values = one-hop, disjoint:2
+EOF_GRID
+
+"$CLI" matrix --grid "$TMP/grid.txt" --work-dir "$TMP/mx" --workers 0 \
+  --threads 1 > "$TMP/matrix_report.out" 2> "$TMP/mx.err"
+rc=$?
+if [[ "$rc" != 0 ]]; then
+  echo "FAIL: matrix run exited $rc:" >&2
+  cat "$TMP/mx.err" >&2
+  failures=$((failures + 1))
+else
+  check matrix_report "$TMP/matrix_report.out"
+  # stdout and the work dir's report.txt are the same bytes by contract.
+  if ! cmp -s "$TMP/matrix_report.out" "$TMP/mx/report.txt"; then
+    echo "FAIL: matrix stdout differs from report.txt" >&2
+    failures=$((failures + 1))
+  fi
+  # A --resume rerun over the finished work dir is a pure merge: every cell
+  # reused, and the report reproduced byte for byte.
+  "$CLI" matrix --grid "$TMP/grid.txt" --work-dir "$TMP/mx" --workers 0 \
+    --threads 1 --resume > "$TMP/matrix_resume.out" 2> "$TMP/mx2.err"
+  if [[ $? != 0 ]]; then
+    echo "FAIL: matrix --resume rerun exited nonzero" >&2
+    failures=$((failures + 1))
+  else
+    grep -q "(8 reused)" "$TMP/mx2.err" \
+      || { echo "FAIL: resume rerun re-ran cells instead of reusing" >&2
+           failures=$((failures + 1)); }
+    check matrix_report "$TMP/matrix_resume.out"
+  fi
 fi
 
 if [[ "$failures" -ne 0 ]]; then

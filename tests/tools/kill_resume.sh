@@ -12,7 +12,15 @@
 # run with exit code 5 after writing a final resumable checkpoint.
 set -u
 
-CLI="${1:?usage: kill_resume.sh <path-to-pathsel_cli>}"
+CLI="${1:?usage: kill_resume.sh <path-to-pathsel_cli> [campaign|matrix|all]}"
+MODE="${2:-all}"
+case "$MODE" in
+  all | campaign | matrix) ;;
+  *)
+    echo "kill_resume.sh: unknown mode '$MODE' (campaign|matrix|all)" >&2
+    exit 2
+    ;;
+esac
 TMP="$(mktemp -d)"
 failures=0
 # Keep the work dir when something failed: the checkpoint generations and
@@ -100,6 +108,8 @@ resume_and_compare() {
     fail "$tag: resumed dataset differs from the uninterrupted run"
   fi
 }
+
+if [[ "$MODE" == all || "$MODE" == campaign ]]; then
 
 # --- Uninterrupted references (no checkpointing: the baseline must not ---
 # --- depend on the crash-safety machinery at all).                     ---
@@ -197,6 +207,92 @@ grep -q "discarded checkpoint" "$TMP/djk.resume.err" \
   || fail "djk: no diagnostic for the stale (different-k) checkpoint"
 grep -q "k=3" "$TMP/djk.out/UW3.disjoint.tsv" 2> /dev/null \
   || fail "djk: restarted campaign did not write a k=3 disjoint report"
+
+fi  # campaign mode
+
+if [[ "$MODE" == all || "$MODE" == matrix ]]; then
+
+# --- Matrix cases: the scenario engine's crash contract, end to end. ---
+# A worker SIGKILL'd mid-cell takes the whole run to exit 5 (the merge never
+# happens on a dead worker), but its flock claim and fingerprint-bound
+# checkpoints survive it: a --resume rerun (case M1) or a surviving sibling
+# worker in the SAME run (case M2) reclaims the orphaned cell, resumes its
+# collection from the checkpoint, and the merged report comes out
+# byte-identical to an uninterrupted run's.
+cat > "$TMP/grid.txt" <<'EOF_GRID'
+name = killtest
+scale = 0.05
+[faults]
+values = 0, 0.15
+EOF_GRID
+
+matrix_run() {
+  local dir="$1"
+  shift
+  "$CLI" matrix --grid "$TMP/grid.txt" --work-dir "$dir" --threads 1 "$@"
+}
+
+matrix_run "$TMP/mxref" --workers 1 > "$TMP/mxref.report" 2> /dev/null \
+  || fail "matrix reference run failed"
+
+# --- Case M1: single worker SIGKILL'd mid-cell; --resume finishes it ---
+{
+  PATHSEL_TEST_CRASH_AFTER=2 matrix_run "$TMP/mx1" --workers 1 \
+    > "$TMP/mx1.report" 2> "$TMP/mx1.err" &
+  wait $!
+  rc=$?
+} 2> /dev/null
+if [[ "$rc" != 5 ]]; then
+  fail "M1: expected exit 5 after the worker was killed, got $rc"
+fi
+grep -q "rerun with --resume" "$TMP/mx1.err" \
+  || fail "M1: missing resume hint after the worker death"
+[[ -e "$TMP/mx1/report.txt" ]] \
+  && fail "M1: report exists even though the run was killed mid-cell"
+matrix_run "$TMP/mx1" --workers 1 --resume \
+  > "$TMP/mx1.resume.report" 2> "$TMP/mx1.resume.err"
+rc=$?
+if [[ "$rc" != 0 ]]; then
+  fail "M1: resume exited $rc"
+  cat "$TMP/mx1.resume.err" >&2
+else
+  grep -q "resumed from checkpoint" "$TMP/mx1.resume.err" \
+    || fail "M1: resume restarted the cell instead of using the checkpoint"
+  cmp -s "$TMP/mxref.report" "$TMP/mx1.resume.report" \
+    || fail "M1: resumed report differs from the uninterrupted run"
+  cmp -s "$TMP/mx1.resume.report" "$TMP/mx1/report.txt" \
+    || fail "M1: stdout differs from report.txt"
+fi
+
+# --- Case M2: two workers, one killed; the survivor reclaims its cell ---
+{
+  PATHSEL_TEST_CRASH_AFTER=2 PATHSEL_MATRIX_CRASH_WORKER=0 \
+    matrix_run "$TMP/mx2" --workers 2 \
+    > "$TMP/mx2.report" 2> "$TMP/mx2.err" &
+  wait $!
+  rc=$?
+} 2> /dev/null
+if [[ "$rc" != 5 ]]; then
+  fail "M2: expected exit 5 after worker 0 was killed, got $rc"
+fi
+summaries=$(ls "$TMP/mx2/queue"/*.summary 2> /dev/null | wc -l)
+if [[ "$summaries" != 2 ]]; then
+  fail "M2: survivor left $summaries/2 cell summaries (no reclaim?)"
+fi
+matrix_run "$TMP/mx2" --workers 2 --resume \
+  > "$TMP/mx2.resume.report" 2> "$TMP/mx2.resume.err"
+rc=$?
+if [[ "$rc" != 0 ]]; then
+  fail "M2: resume exited $rc"
+  cat "$TMP/mx2.resume.err" >&2
+else
+  grep -q "(2 reused)" "$TMP/mx2.resume.err" \
+    || fail "M2: resume re-ran cells the survivor already finished"
+  cmp -s "$TMP/mxref.report" "$TMP/mx2.resume.report" \
+    || fail "M2: resumed report differs from the uninterrupted run"
+fi
+
+fi  # matrix mode
 
 if [[ "$failures" -ne 0 ]]; then
   echo "$failures kill/resume case(s) failed" >&2

@@ -131,5 +131,47 @@ TEST(AtomicIoEnsureDirectory, CreatesNestedAndRejectsFiles) {
   EXPECT_FALSE(ensure_directory(file).is_ok());
 }
 
+TEST(AtomicIoFileLock, ContendsPerOpenFileDescription) {
+  const std::string path = ::testing::TempDir() + "/atomic_io_lock";
+  Result<FileLock> a = FileLock::try_acquire(path);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(a.value().held());
+  // flock is per open file description, so a second acquire — even in the
+  // same process — contends and comes back non-held with an ok status.
+  Result<FileLock> b = FileLock::try_acquire(path);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_FALSE(b.value().held());
+  a.value().release();
+  EXPECT_FALSE(a.value().held());
+  Result<FileLock> c = FileLock::try_acquire(path);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_TRUE(c.value().held());
+}
+
+TEST(AtomicIoFileLock, DefaultAndMovedFromAreInert) {
+  FileLock idle;
+  EXPECT_FALSE(idle.held());
+  idle.release();  // releasing a non-held lock is a no-op
+  EXPECT_FALSE(idle.held());
+
+  const std::string path = ::testing::TempDir() + "/atomic_io_lock_move";
+  Result<FileLock> held = FileLock::try_acquire(path);
+  ASSERT_TRUE(held.is_ok() && held.value().held());
+  FileLock moved{std::move(held.value())};
+  EXPECT_TRUE(moved.held());
+  EXPECT_FALSE(held.value().held());
+  FileLock assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.held());
+  EXPECT_FALSE(moved.held());
+}
+
+TEST(AtomicIoFileLock, BadPathIsAnIoError) {
+  const Result<FileLock> lock =
+      FileLock::try_acquire(::testing::TempDir() + "/no_such_dir_xyz/f.lock");
+  ASSERT_FALSE(lock.is_ok());
+  EXPECT_EQ(lock.status().code(), ErrorCode::kIoError);
+}
+
 }  // namespace
 }  // namespace pathsel

@@ -112,6 +112,9 @@
 #include "core/figures.h"
 #include "core/path_table.h"
 #include "core/result_columns.h"
+#include "matrix/cell.h"
+#include "matrix/engine.h"
+#include "matrix/grid.h"
 #include "meas/campaign.h"
 #include "meas/catalog.h"
 #include "meas/serialize.h"
@@ -177,6 +180,8 @@ int usage() {
                "                       [--fault-seed N] [--checkpoint-dir DIR]\n"
                "                       [--resume] [--checkpoint-every-hours H]\n"
                "                       [--deadline SEC] [--disjoint K]\n"
+               "  pathsel_cli matrix --grid FILE --work-dir DIR [--workers N]\n"
+               "                     [--threads N] [--resume] [--deadline SEC]\n"
                "  pathsel_cli serve --in FILE --trace FILE|- [--readers N]\n"
                "                    [--queue-cap N] [--stale-after-ms MS]\n"
                "                    [--journal-dir DIR] [--resume]\n"
@@ -482,6 +487,79 @@ int cmd_campaign(const FlagMap& flags) {
       }
     }
   }
+  return kExitOk;
+}
+
+// `matrix` expands a declarative grid file into scenario cells and fans them
+// out over N forked workers coordinating through a flock work queue; the
+// merged report is byte-identical for any worker count and across
+// kill/resume.  The grid file is parsed and rejected (exit 2) before any
+// work-dir I/O happens, so a typo never scribbles on a previous run's state.
+int cmd_matrix(const FlagMap& flags) {
+  const auto grid_it = flags.find("grid");
+  const auto work_it = flags.find("work-dir");
+  if (grid_it == flags.end() || work_it == flags.end()) {
+    std::fprintf(stderr, "matrix needs --grid and --work-dir\n");
+    return kExitUsage;
+  }
+  std::int64_t workers = 0;
+  if (!flag_i64(flags, "workers", 0, matrix::kMaxWorkers, workers)) {
+    return kExitUsage;
+  }
+  std::int64_t threads = 0;
+  if (!flag_i64(flags, "threads", 1, 1'000'000, threads)) return kExitUsage;
+  if (!arm_deadline(flags)) return kExitUsage;
+
+  const Result<std::string> text = read_file(grid_it->second);
+  if (!text.is_ok()) {
+    std::fprintf(stderr, "%s\n", text.status().to_string().c_str());
+    return kExitUnreadable;
+  }
+  const Result<matrix::GridConfig> grid = matrix::parse_grid(text.value());
+  if (!grid.is_ok()) {
+    // A malformed grid is a usage error by contract, whatever code the
+    // parser classified it under — and nothing has been written yet.
+    std::fprintf(stderr, "%s: %s\n", grid_it->second.c_str(),
+                 grid.status().message().c_str());
+    return kExitUsage;
+  }
+
+  matrix::MatrixOptions options;
+  options.grid = grid.value();
+  options.work_dir = work_it->second;
+  options.workers = static_cast<int>(workers);
+  options.threads = static_cast<int>(threads);
+  options.resume = flags.contains("resume");
+  options.cancel = &g_cancel;
+  // Same crash-injection contract as `campaign`, plus a worker selector so
+  // the multi-worker kill-and-resume test can kill one specific worker.
+  if (const char* crash_env = std::getenv("PATHSEL_TEST_CRASH_AFTER")) {
+    const long crash_after = std::strtol(crash_env, nullptr, 10);
+    if (crash_after > 0) {
+      options.crash_after = static_cast<std::size_t>(crash_after);
+    }
+  }
+  if (const char* worker_env = std::getenv("PATHSEL_MATRIX_CRASH_WORKER")) {
+    const long crash_worker = std::strtol(worker_env, nullptr, 10);
+    if (crash_worker >= 0 && crash_worker < matrix::kMaxWorkers) {
+      options.crash_worker = static_cast<int>(crash_worker);
+    }
+  }
+
+  const matrix::MatrixReport report = matrix::run_matrix(options);
+  for (const std::string& note : report.notes) {
+    std::fprintf(stderr, "%s\n", note.c_str());
+  }
+  if (!report.status.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status.to_string().c_str());
+    return exit_code_for(report.status);
+  }
+  std::fprintf(stderr, "matrix: %zu cells (%zu reused), report %s\n",
+               report.cells_total, report.cells_reused,
+               report.report_path.c_str());
+  // stdout carries exactly the merged report bytes (== report.txt), so
+  // `pathsel_cli matrix ... > out` and the file can be cmp'd interchangeably.
+  std::fwrite(report.report.data(), 1, report.report.size(), stdout);
   return kExitOk;
 }
 
@@ -1054,6 +1132,9 @@ int print_version() {
   std::printf("  dataset      pathsel-dataset v1\n");
   std::printf("  checkpoint   pathsel-checkpoint v1\n");
   std::printf("  results      PSRC v%u\n", core::kResultColumnsVersion);
+  std::printf("  grid         pathsel-grid v%u\n", matrix::kGridFormatVersion);
+  std::printf("  matrix-cell  pathsel-matrix-cell v%u\n",
+              matrix::kCellSummaryVersion);
   std::printf("  journal      PSJL v%u\n", serve::kJournalVersion);
   std::printf("  serve-state  PSSV v%u\n", serve::kServeStateVersion);
   std::printf("  bench-json   schema_version 1\n");
@@ -1165,6 +1246,14 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     return run_interruptible(cmd_campaign);
+  }
+  if (command == "matrix") {
+    if (!parse_flags(argc, argv, 2,
+                     {"grid", "work-dir", "workers", "threads", "deadline"},
+                     {"resume"}, {"metrics"}, flags)) {
+      return kExitUsage;
+    }
+    return run_interruptible(cmd_matrix);
   }
   if (command == "serve") {
     if (!parse_flags(argc, argv, 2,
